@@ -1,0 +1,215 @@
+// Command stabl runs STABL experiments from the command line and prints the
+// paper's tables and figures as text.
+//
+// Usage:
+//
+//	stabl [flags] <command>
+//
+// Commands:
+//
+//	fig1            Aptos latency eCDFs, baseline vs f=t crashes (Fig 1)
+//	fig3a           sensitivity to f=t crashes, all chains (Fig 3a)
+//	fig3b           sensitivity to f=t+1 transient failures (Fig 3b)
+//	fig3c           sensitivity to an f=t+1 partition (Fig 3c)
+//	fig3d           sensitivity to the secure client (Fig 3d)
+//	fig4|fig5|fig6  throughput over time under the respective fault
+//	fig7            the full sensitivity matrix (Fig 7)
+//	recovery        recovery times after transient failures and partitions
+//	suite           multi-seed sweep over all systems and faults
+//	run             one experiment for -system and -fault
+//
+// Flags select the system, fault, seed and deployment size; see -help.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stabl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stabl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stabl", flag.ContinueOnError)
+	var (
+		seed       = fs.Int64("seed", 42, "simulation seed")
+		duration   = fs.Duration("duration", 400*time.Second, "virtual experiment duration")
+		validators = fs.Int("validators", 10, "number of blockchain nodes")
+		clients    = fs.Int("clients", 5, "number of load clients")
+		rate       = fs.Float64("rate", 40, "per-client send rate (tx/s)")
+		system     = fs.String("system", "Redbelly", "system for the run command")
+		fault      = fs.String("fault", "none", "fault for the run command: none|crash|transient|partition|secure-client")
+		inject     = fs.Duration("inject", 133*time.Second, "fault injection time")
+		recover    = fs.Duration("recover", 266*time.Second, "fault recovery time")
+		bucket     = fs.Duration("bucket", 20*time.Second, "throughput rendering bucket")
+		svgDir     = fs.String("svg", "", "also write figures as SVG files into this directory")
+		configPath = fs.String("config", "", "JSON experiment spec for the run command (overrides other flags)")
+		jsonOut    = fs.Bool("json", false, "print machine-readable JSON instead of text (run and suite commands)")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one command, got %d", fs.NArg())
+	}
+
+	cfg := stabl.Config{
+		Seed:          *seed,
+		Duration:      *duration,
+		Validators:    *validators,
+		Clients:       *clients,
+		RatePerClient: *rate,
+		Fault:         stabl.FaultPlan{InjectAt: *inject, RecoverAt: *recover},
+	}
+
+	switch cmd := fs.Arg(0); cmd {
+	case "fig1":
+		fig, err := stabl.Fig1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, stabl.RenderECDF(fig, 25))
+		return writeSVG(*svgDir, "fig1.svg", fig.SVG())
+	case "fig3a", "fig3b", "fig3c", "fig3d":
+		runner := map[string]func(stabl.Config) ([]*stabl.Comparison, error){
+			"fig3a": stabl.Fig3a, "fig3b": stabl.Fig3b,
+			"fig3c": stabl.Fig3c, "fig3d": stabl.Fig3d,
+		}[cmd]
+		title := map[string]string{
+			"fig3a": "Fig 3a: sensitivity to f=t crashes",
+			"fig3b": "Fig 3b: sensitivity to f=t+1 transient failures",
+			"fig3c": "Fig 3c: sensitivity to an f=t+1 partition",
+			"fig3d": "Fig 3d: sensitivity to the secure client (t+1 endpoints)",
+		}[cmd]
+		cmps, err := runner(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, stabl.RenderFig3(title, cmps))
+		return writeSVG(*svgDir, cmd+".svg", stabl.Fig3SVG(title, cmps))
+	case "fig4", "fig5", "fig6":
+		runner := map[string]func(stabl.Config) ([]*stabl.Comparison, error){
+			"fig4": stabl.Fig4, "fig5": stabl.Fig5, "fig6": stabl.Fig6,
+		}[cmd]
+		cmps, err := runner(cfg)
+		if err != nil {
+			return err
+		}
+		for _, cmp := range cmps {
+			fmt.Fprint(out, stabl.RenderThroughput(cmp, *bucket))
+			fmt.Fprintln(out)
+			if err := writeSVG(*svgDir, fmt.Sprintf("%s-%s.svg", cmd, cmp.System), stabl.ThroughputSVG(cmp, 5*time.Second)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig7":
+		radar, err := stabl.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Fig 7: sensitivity matrix")
+		fmt.Fprint(out, stabl.RenderRadar(radar))
+		return nil
+	case "recovery":
+		for _, f := range []func(stabl.Config) ([]*stabl.Comparison, error){stabl.Fig5, stabl.Fig6} {
+			cmps, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, stabl.RenderRecovery(stabl.RecoveryTimes(cmps)))
+		}
+		return nil
+	case "suite":
+		res, err := stabl.RunSuite(stabl.SuiteConfig{
+			Base:    cfg,
+			Systems: stabl.Systems(),
+			Seeds:   []int64{*seed, *seed + 1, *seed + 2},
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return res.WriteJSON(out)
+		}
+		for _, cell := range res.Cells {
+			fmt.Fprintln(out, cell)
+		}
+		return nil
+	case "run":
+		if *configPath != "" {
+			f, err := os.Open(*configPath)
+			if err != nil {
+				return err
+			}
+			loaded, err := stabl.LoadExperiment(f)
+			closeErr := f.Close()
+			if err != nil {
+				return err
+			}
+			if closeErr != nil {
+				return closeErr
+			}
+			cfg = loaded
+		} else {
+			sys, err := stabl.SystemByName(*system)
+			if err != nil {
+				return err
+			}
+			kind, err := parseFault(*fault)
+			if err != nil {
+				return err
+			}
+			cfg.System = sys
+			cfg.Fault.Kind = kind
+		}
+		cmp, err := stabl.Compare(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return stabl.NewReport(cmp).WriteJSON(out)
+		}
+		fmt.Fprintln(out, cmp)
+		fmt.Fprint(out, stabl.RenderThroughput(cmp, *bucket))
+		return writeSVG(*svgDir, fmt.Sprintf("run-%s-%s.svg", *system, *fault), stabl.ThroughputSVG(cmp, 5*time.Second))
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// writeSVG writes an SVG document into dir (no-op when dir is empty).
+func writeSVG(dir, name, svg string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(svg), 0o644)
+}
+
+func parseFault(name string) (stabl.FaultKind, error) {
+	for _, kind := range []stabl.FaultKind{
+		stabl.FaultNone, stabl.FaultCrash, stabl.FaultTransient,
+		stabl.FaultPartition, stabl.FaultSecureClient, stabl.FaultSlow,
+	} {
+		if kind.String() == name {
+			return kind, nil
+		}
+	}
+	return stabl.FaultNone, fmt.Errorf("unknown fault %q", name)
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs shrink the experiment so CLI tests stay quick.
+var fastArgs = []string{"-duration", "90s", "-inject", "30s", "-recover", "60s"}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := run(append(append([]string{}, fastArgs...), args...), &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput: %s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestCLIRunCommand(t *testing.T) {
+	out := runCLI(t, "-system", "Redbelly", "-fault", "crash", "run")
+	if !strings.Contains(out, "Redbelly") || !strings.Contains(out, "score=") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestCLIRunJSON(t *testing.T) {
+	out := runCLI(t, "-system", "Redbelly", "-fault", "crash", "-json", "run")
+	var report struct {
+		System string  `json:"system"`
+		Score  float64 `json:"score"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if report.System != "Redbelly" {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestCLIFig3aWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	out := runCLI(t, "-svg", dir, "fig3a")
+	if !strings.Contains(out, "Fig 3a") {
+		t.Fatalf("output = %q", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3a.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("not an SVG document")
+	}
+}
+
+func TestCLIUnknownCommand(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestCLIUnknownSystem(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-system", "Bitcoin", "run"}, &buf); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestCLIUnknownFault(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-fault", "meteor", "run"}, &buf); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}
+
+func TestCLINoCommand(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing command accepted")
+	}
+}
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	for _, name := range []string{"none", "crash", "transient", "partition", "secure-client", "slow"} {
+		kind, err := parseFault(name)
+		if err != nil {
+			t.Fatalf("parseFault(%s): %v", name, err)
+		}
+		if kind.String() != name {
+			t.Fatalf("round trip %s -> %s", name, kind)
+		}
+	}
+}
+
+func TestCLIRunWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.json")
+	spec := `{
+		"system": "Redbelly",
+		"seed": 5,
+		"durationSec": 60,
+		"fault": {"kind": "crash", "injectSec": 20}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-config", path, "run"}, &buf); err != nil {
+		t.Fatalf("run -config: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "Redbelly") || !strings.Contains(buf.String(), "crash") {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestCLIRunWithMissingConfigFile(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-config", "/nonexistent.json", "run"}, &buf); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}

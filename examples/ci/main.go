@@ -1,0 +1,70 @@
+// CI gate: the paper pitches STABL as "pluggable in continuous integration
+// pipelines to measure a blockchain's sensitivity". This example is that
+// pipeline stage: it sweeps one system across all four fault kinds and
+// three seeds, prints the aggregated cells, emits a JSON artifact, and
+// exits non-zero when a regression gate trips (liveness flakiness or a
+// crash-sensitivity budget violation).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"stabl"
+)
+
+func main() {
+	res, err := stabl.RunSuite(stabl.SuiteConfig{
+		Base: stabl.Config{
+			Duration: 200 * time.Second,
+			Fault:    stabl.FaultPlan{InjectAt: 70 * time.Second, RecoverAt: 130 * time.Second},
+		},
+		Systems: []stabl.System{stabl.NewRedbelly()},
+		Seeds:   []int64{1, 2, 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cell := range res.Cells {
+		fmt.Println(cell)
+	}
+	if err := writeArtifact(res); err != nil {
+		log.Fatal(err)
+	}
+
+	// Gates: fail the build when dependability regresses.
+	failures := 0
+	for _, cell := range res.Cells {
+		if !cell.Stable() {
+			fmt.Printf("GATE: %s/%s liveness is flaky (%d/%d runs lost it)\n",
+				cell.System, cell.Fault, cell.InfiniteRuns, cell.Runs)
+			failures++
+		}
+	}
+	crash := res.Cell("Redbelly", stabl.FaultCrash)
+	const crashBudget = 5.0
+	if crash != nil && crash.MeanScore > crashBudget {
+		fmt.Printf("GATE: crash sensitivity %.2f exceeds budget %.1f\n", crash.MeanScore, crashBudget)
+		failures++
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("all dependability gates passed")
+}
+
+func writeArtifact(res *stabl.SuiteResult) error {
+	f, err := os.CreateTemp("", "stabl-suite-*.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("suite artifact: %s\n", f.Name())
+	return nil
+}

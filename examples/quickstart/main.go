@@ -1,0 +1,47 @@
+// Quickstart: measure the sensitivity of one blockchain to one failure.
+//
+// This deploys a 10-validator Redbelly network with 5 clients at 40 tx/s,
+// runs a fault-free baseline and an altered run in which f = t+1 = 4 nodes
+// crash at 60 s and reboot at 120 s, and prints the sensitivity score and
+// the recovery time. Everything runs in virtual time; the two 200-second
+// experiments complete in a moment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stabl"
+)
+
+func main() {
+	cmp, err := stabl.Compare(stabl.Config{
+		System:   stabl.NewRedbelly(),
+		Seed:     1,
+		Duration: 200 * time.Second,
+		Fault: stabl.FaultPlan{
+			Kind:      stabl.FaultTransient,
+			InjectAt:  60 * time.Second,
+			RecoverAt: 120 * time.Second,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system:            %s\n", cmp.System)
+	fmt.Printf("fault:             %s (f > t, inject 60s, recover 120s)\n", cmp.Fault.Kind)
+	fmt.Printf("sensitivity score: %s\n", cmp.Score)
+	if cmp.Recovered {
+		fmt.Printf("recovery time:     %.0fs after the nodes rebooted\n", cmp.RecoveryTime.Seconds())
+	} else {
+		fmt.Println("recovery time:     never (liveness lost)")
+	}
+	fmt.Printf("baseline commits:  %d of %d submitted\n",
+		cmp.Baseline.UniqueCommits, cmp.Baseline.Submitted)
+	fmt.Printf("altered commits:   %d of %d submitted\n",
+		cmp.Altered.UniqueCommits, cmp.Altered.Submitted)
+	fmt.Println()
+	fmt.Print(stabl.RenderThroughput(cmp, 20*time.Second))
+}

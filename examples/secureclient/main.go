@@ -1,0 +1,58 @@
+// Secure client: what does Byzantine node tolerance cost an application?
+//
+// Trusting a single RPC node reduces the tolerated Byzantine faults to
+// zero. The defence — submitting every transaction to t+1 validators and
+// cross-checking all their answers — is free on some chains and expensive on
+// others (§7): mempool-less Solana and fully-gossiped Algorand barely
+// notice, Redbelly's superblocks and Avalanche's partial gossip actually get
+// *faster*, while Aptos pays for Block-STM speculatively re-executing every
+// redundant copy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stabl"
+)
+
+func main() {
+	cfg := stabl.Config{
+		Seed:     31,
+		Duration: 300 * time.Second,
+		Fault:    stabl.FaultPlan{Kind: stabl.FaultSecureClient},
+	}
+
+	fmt.Println("Secure client (submit to t+1 validators, wait for all):")
+	for _, sys := range stabl.Systems() {
+		c := cfg
+		c.System = sys
+		cmp, err := stabl.Compare(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "slower"
+		switch {
+		case cmp.Score.Value < 0.2:
+			verdict = "unchanged"
+		case cmp.Score.Benefit:
+			verdict = "FASTER"
+		}
+		fmt.Printf("  %-10s endpoints=%d sensitivity=%-8.2f -> %s\n",
+			cmp.System, sys.Tolerance(10)+1, cmp.Score.Value, verdict)
+		fmt.Printf("             mean latency %.2fs baseline vs %.2fs with redundancy\n",
+			mean(cmp.Baseline.Latencies), mean(cmp.Altered.Latencies))
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,3 @@
+module stabl
+
+go 1.22

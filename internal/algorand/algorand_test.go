@@ -1,0 +1,166 @@
+package algorand
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/core"
+	"stabl/internal/simnet"
+)
+
+func TestTolerance(t *testing.T) {
+	if got := Default().Tolerance(10); got != 1 {
+		t.Fatalf("Tolerance(10) = %d, want 1", got)
+	}
+	if got := Default().Tolerance(20); got != 3 {
+		t.Fatalf("Tolerance(20) = %d, want 3", got)
+	}
+}
+
+func TestProposerDeterministicAcrossNodes(t *testing.T) {
+	peers := []simnet.NodeID{0, 1, 2, 3, 4}
+	mk := func(id simnet.NodeID) *validator {
+		v, ok := Default().NewValidator(id, peers, chain.NewMonitor(), nil).(*validator)
+		if !ok {
+			t.Fatal("unexpected type")
+		}
+		return v
+	}
+	a, b := mk(0), mk(3)
+	spread := make(map[simnet.NodeID]int)
+	for r := 0; r < 200; r++ {
+		pa, pb := a.Proposer(r), b.Proposer(r)
+		if pa != pb {
+			t.Fatalf("round %d: proposers diverge (%v vs %v)", r, pa, pb)
+		}
+		spread[pa]++
+	}
+	// Sortition must hit every node with reasonable frequency.
+	for _, id := range peers {
+		if spread[id] < 10 {
+			t.Fatalf("node %v proposed only %d/200 rounds", id, spread[id])
+		}
+	}
+}
+
+func TestBaselineRampUp(t *testing.T) {
+	res, err := core.Run(core.Config{
+		System:   Default(),
+		Seed:     4,
+		Duration: 200 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LivenessLost {
+		t.Fatal("baseline lost liveness")
+	}
+	if res.UniqueCommits < res.Submitted*90/100 {
+		t.Fatalf("commits = %d of %d", res.UniqueCommits, res.Submitted)
+	}
+	// Dynamic round time: early latencies reflect the 4 s default filter
+	// timeout, late ones the shrunken one. Compare mean commit cadence
+	// indirectly via client latencies — the harness mixes them, so check
+	// chain-side block production instead: more blocks per second late.
+	earlyBlocks := res.Throughput.MeanRate(5*time.Second, 60*time.Second)
+	lateBlocks := res.Throughput.MeanRate(140*time.Second, 195*time.Second)
+	if lateBlocks < earlyBlocks*0.9 {
+		t.Fatalf("no ramp: early=%.1f late=%.1f", earlyBlocks, lateBlocks)
+	}
+}
+
+func TestCrashCausesPeriodicResets(t *testing.T) {
+	cfg := core.Config{
+		System:   Default(),
+		Seed:     4,
+		Duration: 300 * time.Second,
+		Fault: core.FaultPlan{
+			Kind:     core.FaultCrash,
+			InjectAt: 100 * time.Second,
+		},
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LivenessLost {
+		t.Fatal("f=t crash must not kill Algorand")
+	}
+	if res.UniqueCommits < res.Submitted*85/100 {
+		t.Fatalf("commits = %d of %d", res.UniqueCommits, res.Submitted)
+	}
+}
+
+func TestTransientSharpRecovery(t *testing.T) {
+	cfg := core.Config{
+		System:   Default(),
+		Seed:     4,
+		Duration: 400 * time.Second,
+		Fault: core.FaultPlan{
+			Kind:      core.FaultTransient,
+			InjectAt:  133 * time.Second,
+			RecoverAt: 266 * time.Second,
+		},
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = t+1 stalls the chain during the outage.
+	during := res.Throughput.MeanRate(150*time.Second, 260*time.Second)
+	if during > 20 {
+		t.Fatalf("rate %.1f during outage, want near-stall", during)
+	}
+	if res.LivenessLost {
+		t.Fatal("Algorand must recover from a transient failure")
+	}
+	// Sharp backlog peak: some bucket right after recovery far exceeds
+	// the 200 TPS workload (large blocks drain the backlog at once).
+	peak := 0.0
+	for i := int(266); i < int(300) && i < len(res.Throughput.Counts); i++ {
+		if r := res.Throughput.Rate(i); r > peak {
+			peak = r
+		}
+	}
+	if peak < 400 {
+		t.Fatalf("backlog peak = %.0f tx/s, want a sharp spike >400", peak)
+	}
+	ref := res.Throughput.MeanRate(60*time.Second, 133*time.Second)
+	delay, ok := res.Throughput.RecoveryTime(266*time.Second, ref, 0.7, 5)
+	if !ok {
+		t.Fatal("recovery not detected")
+	}
+	if delay > 30*time.Second {
+		t.Fatalf("recovery took %v, want fast (paper: ~9s)", delay)
+	}
+}
+
+func TestPartitionRecoverySlowerThanTransient(t *testing.T) {
+	cfg := core.Config{
+		System:   Default(),
+		Seed:     4,
+		Duration: 400 * time.Second,
+		Fault: core.FaultPlan{
+			Kind:      core.FaultPartition,
+			InjectAt:  133 * time.Second,
+			RecoverAt: 266 * time.Second,
+		},
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LivenessLost {
+		t.Fatal("Algorand must recover from a partition")
+	}
+	ref := res.Throughput.MeanRate(60*time.Second, 133*time.Second)
+	delay, ok := res.Throughput.RecoveryTime(266*time.Second, ref, 0.7, 5)
+	if !ok {
+		t.Fatal("partition recovery not detected")
+	}
+	// Paper: ~99 s, bounded by gossip reconnection timers.
+	if delay < 45*time.Second || delay > 130*time.Second {
+		t.Fatalf("partition recovery = %v, want timer-bound (paper ~99s)", delay)
+	}
+}

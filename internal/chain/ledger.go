@@ -1,0 +1,189 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Ledger is a validator's copy of the committed chain. It deterministically
+// executes native transfers, tracks per-account balances and nonces, and
+// deduplicates transactions so that a transaction redundantly submitted to
+// several validators (the secure client of STABL §7) executes exactly once.
+//
+// The ledger is the node's persistent state: it survives crash/restart.
+type Ledger struct {
+	blocks    []Block
+	hashes    []Hash
+	committed map[TxID]int // tx -> block height
+	balances  map[Address]uint64
+	nonces    map[Address]uint64 // next expected nonce per account
+	applied   uint64
+	skipped   uint64
+	// VerifyParents enables hash-chain verification on Append (the
+	// harness enables it everywhere; tests may relax it).
+	VerifyParents bool
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		committed: make(map[TxID]int),
+		balances:  make(map[Address]uint64),
+		nonces:    make(map[Address]uint64),
+	}
+}
+
+// Mint credits an account out of thin air; used to fund workload accounts at
+// genesis.
+func (l *Ledger) Mint(addr Address, amount uint64) { l.balances[addr] += amount }
+
+// Height returns the number of committed blocks.
+func (l *Ledger) Height() int { return len(l.blocks) }
+
+// Committed reports whether tx has been committed, and at which height.
+func (l *Ledger) Committed(id TxID) (int, bool) {
+	h, ok := l.committed[id]
+	return h, ok
+}
+
+// Balance returns the current balance of an account.
+func (l *Ledger) Balance(addr Address) uint64 { return l.balances[addr] }
+
+// NextNonce returns the next expected nonce for an account.
+func (l *Ledger) NextNonce(addr Address) uint64 { return l.nonces[addr] }
+
+// AppliedTxs returns how many transactions executed successfully.
+func (l *Ledger) AppliedTxs() uint64 { return l.applied }
+
+// SkippedTxs returns how many transactions were skipped as duplicates or for
+// insufficient funds.
+func (l *Ledger) SkippedTxs() uint64 { return l.skipped }
+
+// Block returns the committed block at the given height.
+func (l *Ledger) Block(height int) (Block, error) {
+	if height < 0 || height >= len(l.blocks) {
+		return Block{}, fmt.Errorf("ledger: no block at height %d (height=%d)", height, len(l.blocks))
+	}
+	return l.blocks[height], nil
+}
+
+// BlocksFrom returns up to max committed blocks starting at height from.
+func (l *Ledger) BlocksFrom(from, max int) []Block {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(l.blocks) {
+		return nil
+	}
+	end := from + max
+	if max <= 0 || end > len(l.blocks) {
+		end = len(l.blocks)
+	}
+	out := make([]Block, end-from)
+	copy(out, l.blocks[from:end])
+	return out
+}
+
+// Append commits a block at the next height, executing its transactions.
+// It returns the transactions that executed (i.e. were not duplicates).
+// Appending a block whose height is not the current chain height, or (with
+// VerifyParents) whose parent link does not match the chain tip, is a
+// protocol error.
+func (l *Ledger) Append(b Block) ([]Tx, error) {
+	if b.Height != len(l.blocks) {
+		return nil, fmt.Errorf("ledger: append height %d, want %d", b.Height, len(l.blocks))
+	}
+	if l.VerifyParents && b.Parent != l.TipHash() {
+		return nil, fmt.Errorf("ledger: block %d parent %v does not extend tip %v",
+			b.Height, b.Parent, l.TipHash())
+	}
+	executed := make([]Tx, 0, len(b.Txs))
+	for _, tx := range b.Txs {
+		if _, dup := l.committed[tx.ID]; dup {
+			l.skipped++
+			continue
+		}
+		l.committed[tx.ID] = b.Height
+		if l.balances[tx.From] < tx.Amount {
+			l.skipped++
+			continue
+		}
+		l.balances[tx.From] -= tx.Amount
+		l.balances[tx.To] += tx.Amount
+		if tx.Nonce >= l.nonces[tx.From] {
+			l.nonces[tx.From] = tx.Nonce + 1
+		}
+		l.applied++
+		executed = append(executed, tx)
+	}
+	l.blocks = append(l.blocks, b)
+	l.hashes = append(l.hashes, HashBlock(b))
+	return executed, nil
+}
+
+// TipHash returns the content address of the latest block (zero at genesis).
+func (l *Ledger) TipHash() Hash {
+	if len(l.hashes) == 0 {
+		return Hash{}
+	}
+	return l.hashes[len(l.hashes)-1]
+}
+
+// BlockHash returns the stored content address of the block at a height.
+func (l *Ledger) BlockHash(height int) (Hash, error) {
+	if height < 0 || height >= len(l.hashes) {
+		return Hash{}, fmt.Errorf("ledger: no block hash at height %d", height)
+	}
+	return l.hashes[height], nil
+}
+
+// VerifyChain re-validates the whole hash chain: every stored hash matches
+// its block's content and every parent link matches the previous hash.
+func (l *Ledger) VerifyChain() error {
+	prev := Hash{}
+	for i, b := range l.blocks {
+		if got := HashBlock(b); got != l.hashes[i] {
+			return fmt.Errorf("ledger: block %d content hash mismatch", i)
+		}
+		if b.Parent != prev {
+			return fmt.Errorf("ledger: block %d parent link broken", i)
+		}
+		prev = l.hashes[i]
+	}
+	return nil
+}
+
+// StateHash computes the accounts hash: a digest over every account's
+// balance and nonce in address order. Solana's Epoch Accounts Hash is this
+// computation at an epoch-defined snapshot point.
+func (l *Ledger) StateHash() Hash {
+	addrs := make([]Address, 0, len(l.balances))
+	for a := range l.balances {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := sha256.New()
+	var buf [8]byte
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(a))
+		_, _ = h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], l.balances[a])
+		_, _ = h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], l.nonces[a])
+		_, _ = h.Write(buf[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// LastDecidedAt returns the decision time of the latest block, or zero.
+func (l *Ledger) LastDecidedAt() time.Duration {
+	if len(l.blocks) == 0 {
+		return 0
+	}
+	return l.blocks[len(l.blocks)-1].DecidedAt
+}

@@ -1,0 +1,89 @@
+package chain
+
+// Mempool is a FIFO transaction pool with deduplication against both its own
+// contents and an external committed-check (usually the node's ledger).
+// Mempool contents are volatile: they are lost on crash, which is why
+// transient failures create client-visible backlogs.
+type Mempool struct {
+	queue     []Tx
+	inPool    map[TxID]bool
+	committed func(TxID) bool
+	added     uint64
+	rejected  uint64
+}
+
+// NewMempool creates a pool. committed may be nil, in which case only
+// in-pool duplicates are rejected.
+func NewMempool(committed func(TxID) bool) *Mempool {
+	return &Mempool{
+		inPool:    make(map[TxID]bool),
+		committed: committed,
+	}
+}
+
+// Add enqueues tx unless it is already pending or committed. It reports
+// whether the transaction was accepted.
+func (m *Mempool) Add(tx Tx) bool {
+	if m.inPool[tx.ID] || (m.committed != nil && m.committed(tx.ID)) {
+		m.rejected++
+		return false
+	}
+	m.inPool[tx.ID] = true
+	m.queue = append(m.queue, tx)
+	m.added++
+	return true
+}
+
+// Contains reports whether tx is currently pending.
+func (m *Mempool) Contains(id TxID) bool { return m.inPool[id] }
+
+// Len returns the number of pending transactions.
+func (m *Mempool) Len() int { return len(m.queue) }
+
+// Peek returns up to max pending transactions in FIFO order without
+// removing them. With max <= 0 it returns all of them.
+func (m *Mempool) Peek(max int) []Tx {
+	n := len(m.queue)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Tx, n)
+	copy(out, m.queue[:n])
+	return out
+}
+
+// Pop removes and returns up to max pending transactions in FIFO order.
+func (m *Mempool) Pop(max int) []Tx {
+	out := m.Peek(max)
+	m.queue = m.queue[len(out):]
+	for _, tx := range out {
+		delete(m.inPool, tx.ID)
+	}
+	return out
+}
+
+// Drop removes the given transactions (typically because they committed in a
+// block proposed by another node).
+func (m *Mempool) Drop(ids map[TxID]bool) {
+	if len(ids) == 0 {
+		return
+	}
+	kept := m.queue[:0]
+	for _, tx := range m.queue {
+		if ids[tx.ID] {
+			delete(m.inPool, tx.ID)
+			continue
+		}
+		kept = append(kept, tx)
+	}
+	m.queue = kept
+}
+
+// Clear empties the pool; used to model volatile state lost on crash.
+func (m *Mempool) Clear() {
+	m.queue = nil
+	m.inPool = make(map[TxID]bool)
+}
+
+// Stats returns (accepted, rejected) counters.
+func (m *Mempool) Stats() (uint64, uint64) { return m.added, m.rejected }

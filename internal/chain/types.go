@@ -1,0 +1,99 @@
+// Package chain provides the common blockchain building blocks shared by
+// the five protocol models: accounts, native-transfer transactions, blocks,
+// per-node ledgers with deterministic execution, FIFO mempools with
+// deduplication, and a BaseNode that implements the client-facing and
+// catch-up behaviour every validator needs.
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"stabl/internal/simnet"
+)
+
+// Address identifies an account.
+type Address uint32
+
+// TxID uniquely identifies a transaction across the whole experiment.
+// It packs the issuing client and a per-client sequence number so that
+// deduplication is trivial and IDs are stable across redundant submissions.
+type TxID uint64
+
+// MakeTxID builds a TxID from a client index and per-client sequence.
+func MakeTxID(client uint32, seq uint32) TxID {
+	return TxID(uint64(client)<<32 | uint64(seq))
+}
+
+// Client extracts the issuing client index.
+func (id TxID) Client() uint32 { return uint32(id >> 32) }
+
+// Seq extracts the per-client sequence number.
+func (id TxID) Seq() uint32 { return uint32(id) }
+
+// String implements fmt.Stringer.
+func (id TxID) String() string { return fmt.Sprintf("tx%d.%d", id.Client(), id.Seq()) }
+
+// Tx is a native transfer, the workload used by all STABL experiments.
+type Tx struct {
+	ID        TxID
+	From      Address
+	To        Address
+	Amount    uint64
+	Nonce     uint64
+	Submitted time.Duration // client-side submission instant
+}
+
+// Block is a decided batch of transactions. Parent is the content address
+// of the previous block, making the committed history a hash chain that
+// every validator verifies on apply.
+type Block struct {
+	Height    int
+	Proposer  simnet.NodeID
+	Parent    Hash
+	Txs       []Tx
+	DecidedAt time.Duration
+}
+
+// Client-facing wire messages. Every chain model understands these; the
+// client SDKs in internal/client speak them.
+type (
+	// SubmitTx asks a validator to get Tx committed.
+	SubmitTx struct {
+		Tx Tx
+	}
+	// TxCommitted tells a client its transaction reached the ledger of
+	// the responding validator.
+	TxCommitted struct {
+		ID     TxID
+		Height int
+	}
+	// ReadReq asks a validator for an account's current state. Seq lets
+	// clients match responses to requests.
+	ReadReq struct {
+		Seq  uint64
+		Addr Address
+	}
+	// ReadResp answers a ReadReq with the validator's view of the
+	// account. A credence.js-style client compares the responses of t+1
+	// validators before trusting any of them.
+	ReadResp struct {
+		Seq     uint64
+		Addr    Address
+		Balance uint64
+		Nonce   uint64
+		Height  int
+	}
+)
+
+// Catch-up wire messages used by BaseNode.
+type (
+	// SyncReq asks a peer for blocks from height From (inclusive).
+	SyncReq struct {
+		From int
+	}
+	// SyncResp carries a contiguous run of blocks.
+	SyncResp struct {
+		Blocks []Block
+	}
+)

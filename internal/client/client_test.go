@@ -1,0 +1,186 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/sim"
+	"stabl/internal/simnet"
+	"stabl/internal/workload"
+)
+
+// ackNode is a trivial validator that confirms every submission after a
+// fixed delay, or swallows submissions when mute.
+type ackNode struct {
+	ctx   *simnet.Context
+	delay time.Duration
+	mute  bool
+	seen  map[chain.TxID]int
+}
+
+func (a *ackNode) Start(ctx *simnet.Context) { a.ctx = ctx }
+func (a *ackNode) Stop()                     {}
+func (a *ackNode) Deliver(from simnet.NodeID, payload any) {
+	sub, ok := payload.(chain.SubmitTx)
+	if !ok {
+		return
+	}
+	if a.seen == nil {
+		a.seen = make(map[chain.TxID]int)
+	}
+	a.seen[sub.Tx.ID]++
+	if a.mute {
+		return
+	}
+	id := sub.Tx.ID
+	a.ctx.After(a.delay, func() {
+		a.ctx.Send(from, chain.TxCommitted{ID: id})
+	})
+}
+
+func clientSetup(t *testing.T, cfg Config, nodes int, delay time.Duration) (*sim.Scheduler, *Client, []*ackNode) {
+	t.Helper()
+	sched := sim.New(11)
+	net := simnet.New(sched, simnet.Config{Latency: simnet.FixedLatency(5 * time.Millisecond)})
+	acks := make([]*ackNode, nodes)
+	for i := range acks {
+		acks[i] = &ackNode{delay: delay}
+		net.AddNode(simnet.NodeID(i), acks[i])
+	}
+	sets := workload.Accounts(1, 4)
+	gen := workload.NewGenerator(cfg.Index, sets[0], sets[0], sched.RNG("wl"))
+	c := New(cfg, gen)
+	net.AddNode(100, c)
+	net.StartAll()
+	return sched, c, acks
+}
+
+func TestClientMeasuresLatency(t *testing.T) {
+	cfg := Config{Endpoints: []simnet.NodeID{0}, Rate: 10}
+	sched, c, _ := clientSetup(t, cfg, 1, 100*time.Millisecond)
+	sched.RunUntil(2 * time.Second)
+	if c.Submitted() == 0 {
+		t.Fatal("nothing submitted")
+	}
+	if len(c.Latencies()) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	// Latency = 5ms up + 100ms node delay + 5ms down = 110ms.
+	for _, lat := range c.Latencies() {
+		if lat < 0.109 || lat > 0.112 {
+			t.Fatalf("latency = %v, want ~0.110", lat)
+		}
+	}
+}
+
+func TestClientRateHonored(t *testing.T) {
+	cfg := Config{Endpoints: []simnet.NodeID{0}, Rate: 40}
+	sched, c, _ := clientSetup(t, cfg, 1, 10*time.Millisecond)
+	sched.RunUntil(10 * time.Second)
+	// 40 tx/s for 10 s: first tick at 25ms, so 400 +- 1.
+	if c.Submitted() < 398 || c.Submitted() > 401 {
+		t.Fatalf("submitted = %d, want ~400", c.Submitted())
+	}
+}
+
+func TestClientStopTime(t *testing.T) {
+	cfg := Config{Endpoints: []simnet.NodeID{0}, Rate: 10, Stop: time.Second}
+	sched, c, _ := clientSetup(t, cfg, 1, time.Millisecond)
+	sched.RunUntil(5 * time.Second)
+	if c.Submitted() > 10 {
+		t.Fatalf("submitted = %d after Stop, want <= 10", c.Submitted())
+	}
+}
+
+func TestSecureClientWaitsForAllEndpoints(t *testing.T) {
+	cfg := Config{Endpoints: []simnet.NodeID{0, 1, 2, 3}, Rate: 5, Stop: 2 * time.Second}
+	sched, c, acks := clientSetup(t, cfg, 4, 50*time.Millisecond)
+	// Node 3 is slower than the rest.
+	acks[3].delay = 300 * time.Millisecond
+	sched.RunUntil(4 * time.Second)
+	if len(c.Latencies()) == 0 {
+		t.Fatal("no completions")
+	}
+	for _, lat := range c.Latencies() {
+		if lat < 0.30 {
+			t.Fatalf("latency = %v; secure client must wait for slowest node", lat)
+		}
+	}
+	// Every node saw every transaction.
+	for i, a := range acks {
+		if len(a.seen) != c.Submitted() {
+			t.Fatalf("node %d saw %d txs, want %d", i, len(a.seen), c.Submitted())
+		}
+	}
+}
+
+func TestSecureClientIncompleteWithoutAllAcks(t *testing.T) {
+	cfg := Config{Endpoints: []simnet.NodeID{0, 1}, Rate: 5}
+	sched, c, acks := clientSetup(t, cfg, 2, 10*time.Millisecond)
+	acks[1].mute = true
+	sched.RunUntil(3 * time.Second)
+	if len(c.Latencies()) != 0 {
+		t.Fatal("completed without all endpoint confirmations")
+	}
+	if c.PendingCount() == 0 {
+		t.Fatal("pending should be non-empty")
+	}
+}
+
+func TestClientRetriesUnconfirmed(t *testing.T) {
+	cfg := Config{Endpoints: []simnet.NodeID{0}, Rate: 2, RetryAfter: 2 * time.Second, MaxRetries: 3}
+	sched, c, acks := clientSetup(t, cfg, 1, 10*time.Millisecond)
+	acks[0].mute = true
+	sched.RunUntil(10 * time.Second)
+	if c.Retried() == 0 {
+		t.Fatal("no retries despite silence")
+	}
+	// Per-tx retry bound respected.
+	for id, n := range acks[0].seen {
+		if n > 4 {
+			t.Fatalf("tx %v submitted %d times, want <= 4", id, n)
+		}
+	}
+}
+
+func TestClientPanicsOnBadConfig(t *testing.T) {
+	sets := workload.Accounts(1, 1)
+	gen := workload.NewGenerator(0, sets[0], sets[0], sim.New(1).RNG("x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty endpoints")
+		}
+	}()
+	New(Config{Rate: 1}, gen)
+}
+
+func TestClientBurstProfileModulatesRate(t *testing.T) {
+	cfg := Config{
+		Endpoints: []simnet.NodeID{0},
+		Rate:      40,
+		Profile:   workload.Burst(10*time.Second, 5*time.Second, 3),
+		Stop:      20 * time.Second,
+	}
+	sched, c, _ := clientSetup(t, cfg, 1, time.Millisecond)
+	sched.RunUntil(25 * time.Second)
+	// Two periods: 2 x (5s at 120 tx/s + 5s at 40 tx/s) = 1600 total.
+	if c.Submitted() < 1500 || c.Submitted() > 1650 {
+		t.Fatalf("submitted = %d, want ~1600", c.Submitted())
+	}
+}
+
+func TestClientRampProfile(t *testing.T) {
+	cfg := Config{
+		Endpoints: []simnet.NodeID{0},
+		Rate:      10,
+		Profile:   workload.Ramp(0, 2, 10*time.Second),
+		Stop:      10 * time.Second,
+	}
+	sched, c, _ := clientSetup(t, cfg, 1, time.Millisecond)
+	sched.RunUntil(12 * time.Second)
+	// Integral of 10*(0..2) over 10s = 100.
+	if c.Submitted() < 90 || c.Submitted() > 110 {
+		t.Fatalf("submitted = %d, want ~100", c.Submitted())
+	}
+}

@@ -1,0 +1,172 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/sim"
+	"stabl/internal/simnet"
+)
+
+// ledgerNode answers reads from a real ledger.
+type ledgerNode struct {
+	ctx    *simnet.Context
+	ledger *chain.Ledger
+}
+
+func (n *ledgerNode) Start(ctx *simnet.Context) { n.ctx = ctx }
+func (n *ledgerNode) Stop()                     {}
+func (n *ledgerNode) Deliver(from simnet.NodeID, payload any) {
+	req, ok := payload.(chain.ReadReq)
+	if !ok {
+		return
+	}
+	n.ctx.Send(from, chain.ReadResp{
+		Seq:     req.Seq,
+		Addr:    req.Addr,
+		Balance: n.ledger.Balance(req.Addr),
+		Nonce:   n.ledger.NextNonce(req.Addr),
+		Height:  n.ledger.Height(),
+	})
+}
+
+// lyingNode answers reads with a forged balance — the Byzantine validator a
+// single-endpoint SDK would blindly trust.
+type lyingNode struct {
+	ctx *simnet.Context
+}
+
+func (n *lyingNode) Start(ctx *simnet.Context) { n.ctx = ctx }
+func (n *lyingNode) Stop()                     {}
+func (n *lyingNode) Deliver(from simnet.NodeID, payload any) {
+	req, ok := payload.(chain.ReadReq)
+	if !ok {
+		return
+	}
+	n.ctx.Send(from, chain.ReadResp{Seq: req.Seq, Addr: req.Addr, Balance: 1 << 40})
+}
+
+// muteNode never answers.
+type muteNode struct{}
+
+func (muteNode) Start(*simnet.Context)      {}
+func (muteNode) Stop()                      {}
+func (muteNode) Deliver(simnet.NodeID, any) {}
+
+func credenceSetup(t *testing.T, handlers []simnet.Handler, cfg ReaderConfig) (*sim.Scheduler, *VerifiedReader) {
+	t.Helper()
+	sched := sim.New(17)
+	net := simnet.New(sched, simnet.Config{Latency: simnet.FixedLatency(5 * time.Millisecond)})
+	for i, h := range handlers {
+		net.AddNode(simnet.NodeID(i), h)
+	}
+	r := NewVerifiedReader(cfg)
+	net.AddNode(100, r)
+	net.StartAll()
+	return sched, r
+}
+
+func honestLedger() *chain.Ledger {
+	l := chain.NewLedger()
+	l.Mint(1, 500)
+	return l
+}
+
+func TestVerifiedReadUnanimousSucceeds(t *testing.T) {
+	shared := honestLedger()
+	sched, r := credenceSetup(t,
+		[]simnet.Handler{&ledgerNode{ledger: shared}, &ledgerNode{ledger: shared}, &ledgerNode{ledger: shared}},
+		ReaderConfig{Endpoints: []simnet.NodeID{0, 1, 2}, Accounts: []chain.Address{1}, Rate: 10, Stop: time.Second})
+	sched.RunUntil(3 * time.Second)
+	if r.Reads() == 0 {
+		t.Fatal("no reads issued")
+	}
+	if len(r.Latencies()) != r.Reads() {
+		t.Fatalf("latencies = %d of %d reads", len(r.Latencies()), r.Reads())
+	}
+	if r.Mismatches() != 0 || r.Divergences() != 0 {
+		t.Fatalf("mismatches=%d divergences=%d on honest unanimous network",
+			r.Mismatches(), r.Divergences())
+	}
+}
+
+func TestVerifiedReadDetectsLyingValidator(t *testing.T) {
+	shared := honestLedger()
+	sched, r := credenceSetup(t,
+		[]simnet.Handler{&ledgerNode{ledger: shared}, &ledgerNode{ledger: shared}, &lyingNode{}},
+		ReaderConfig{Endpoints: []simnet.NodeID{0, 1, 2}, Accounts: []chain.Address{1},
+			Rate: 5, Stop: time.Second, Timeout: 500 * time.Millisecond, MaxRetries: 2})
+	sched.RunUntil(10 * time.Second)
+	if r.Divergences() == 0 {
+		t.Fatal("persistent forgery not reported as divergence")
+	}
+	if len(r.Latencies()) != 0 {
+		t.Fatal("forged read accepted as verified")
+	}
+	if r.Mismatches() < r.Divergences() {
+		t.Fatalf("mismatches=%d < divergences=%d", r.Mismatches(), r.Divergences())
+	}
+}
+
+func TestVerifiedReadSilentValidatorCountsAsDisagreement(t *testing.T) {
+	shared := honestLedger()
+	sched, r := credenceSetup(t,
+		[]simnet.Handler{&ledgerNode{ledger: shared}, &ledgerNode{ledger: shared}, muteNode{}},
+		ReaderConfig{Endpoints: []simnet.NodeID{0, 1, 2}, Accounts: []chain.Address{1},
+			Rate: 5, Stop: time.Second, Timeout: 300 * time.Millisecond, MaxRetries: 1})
+	sched.RunUntil(10 * time.Second)
+	if r.Divergences() == 0 {
+		t.Fatal("silent validator never triggered a divergence")
+	}
+}
+
+func TestVerifiedReadTransientMismatchConvergesOnRetry(t *testing.T) {
+	// Node 2 lags one commit behind, then catches up at 0.5 s: the first
+	// read mismatches, the retry converges.
+	ahead := honestLedger()
+	behind := honestLedger()
+	if _, err := ahead.Append(chain.Block{Height: 0, Txs: []chain.Tx{{
+		ID: chain.MakeTxID(0, 0), From: 1, To: 2, Amount: 100,
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	sched, r := credenceSetup(t,
+		[]simnet.Handler{&ledgerNode{ledger: ahead}, &ledgerNode{ledger: ahead}, &ledgerNode{ledger: behind}},
+		ReaderConfig{Endpoints: []simnet.NodeID{0, 1, 2}, Accounts: []chain.Address{1},
+			Rate: 4, Stop: 300 * time.Millisecond, Timeout: 200 * time.Millisecond, MaxRetries: 5})
+	sched.At(500*time.Millisecond, func() {
+		if _, err := behind.Append(chain.Block{Height: 0, Txs: []chain.Tx{{
+			ID: chain.MakeTxID(0, 0), From: 1, To: 2, Amount: 100,
+		}}}); err != nil {
+			t.Error(err)
+		}
+	})
+	sched.RunUntil(10 * time.Second)
+	if r.Mismatches() == 0 {
+		t.Fatal("lagging replica never mismatched")
+	}
+	if r.Divergences() != 0 {
+		t.Fatal("transient lag misreported as divergence")
+	}
+	if len(r.Latencies()) != r.Reads() {
+		t.Fatalf("latencies = %d of %d reads", len(r.Latencies()), r.Reads())
+	}
+}
+
+func TestVerifiedReaderConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]ReaderConfig{
+		"no endpoints": {Accounts: []chain.Address{1}, Rate: 1},
+		"no accounts":  {Endpoints: []simnet.NodeID{0}, Rate: 1},
+		"zero rate":    {Endpoints: []simnet.NodeID{0}, Accounts: []chain.Address{1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			NewVerifiedReader(cfg)
+		}()
+	}
+}

@@ -1,0 +1,430 @@
+// Package core implements STABL itself: it deploys a blockchain model on the
+// simulated network, drives the DIABLO-style constant workload against it,
+// injects faults through observer processes, and computes the sensitivity
+// score between a baseline and an altered run (STABL §3).
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/client"
+	"stabl/internal/observer"
+	"stabl/internal/sim"
+	"stabl/internal/simnet"
+	"stabl/internal/stats"
+	"stabl/internal/workload"
+)
+
+// FaultKind selects the adversarial environment of an experiment.
+type FaultKind int
+
+// Fault kinds, mirroring the paper's four dependability attributes. The zero
+// value is the fault-free baseline.
+const (
+	// FaultNone runs the fault-free baseline.
+	FaultNone FaultKind = iota
+	// FaultCrash permanently kills Count nodes at InjectAt (§4).
+	FaultCrash
+	// FaultTransient kills Count nodes at InjectAt and reboots them at
+	// RecoverAt (§5).
+	FaultTransient
+	// FaultPartition isolates Count nodes from the rest between InjectAt
+	// and RecoverAt (§6).
+	FaultPartition
+	// FaultSecureClient injects no failures but makes every client
+	// submit to t+1 validators and wait for all their answers (§7).
+	FaultSecureClient
+	// FaultSlow injects transient communication delays: between InjectAt
+	// and RecoverAt every message to or from the Count affected nodes is
+	// delayed by SlowBy (tc-netem style). The paper observed that such
+	// delays crash all Solana nodes (§2) and that Avalanche "stops
+	// working when some messages arrive 2 minutes late" (§5).
+	FaultSlow
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultTransient:
+		return "transient"
+	case FaultPartition:
+		return "partition"
+	case FaultSecureClient:
+		return "secure-client"
+	case FaultSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultPlan describes the altered environment.
+type FaultPlan struct {
+	Kind FaultKind
+	// Count is f, the number of affected nodes; ignored for
+	// FaultSecureClient. Zero means "chain tolerance + delta", see
+	// Config.
+	Count int
+	// InjectAt is when the failure starts.
+	InjectAt time.Duration
+	// RecoverAt is when transient failures recover / partitions heal.
+	RecoverAt time.Duration
+	// SlowBy is the injected per-interface delay for FaultSlow; defaults
+	// to 30 seconds.
+	SlowBy time.Duration
+}
+
+// Config describes one run. The defaults mirror the paper's settings: 10
+// validator nodes, 5 clients at 40 tx/s each (200 TPS total), 400 virtual
+// seconds, faults injected at 133 s on the 5 nodes without clients and
+// recovered at 266 s.
+type Config struct {
+	System            chain.System
+	Seed              int64
+	Validators        int
+	Clients           int
+	RatePerClient     float64
+	AccountsPerClient int
+	Duration          time.Duration
+	// Fanout is how many validators each client submits to (1 = the
+	// default SDK; Tolerance+1 = the secure client).
+	Fanout int
+	// Profile shapes every client's send rate over time (nil =
+	// constant, the paper's workload).
+	Profile    workload.Profile
+	RetryAfter time.Duration
+	MaxRetries int
+	Latency    simnet.LatencyModel
+	Fault      FaultPlan
+	// ReadRate, when positive, deploys one credence.js-style verified
+	// reader per client: each issues ReadRate account reads per second
+	// to Tolerance+1 validators and accepts a value only on unanimity
+	// (§9 future work).
+	ReadRate float64
+	// TraceWriter, when set, receives one line per network lifecycle
+	// event (crashes, reboots, partitions, connection churn) — the
+	// transitions that decide an experiment's outcome.
+	TraceWriter io.Writer
+	// LivenessGrace: if the altered run's last commit is older than this
+	// at the end of the experiment, liveness was lost and the
+	// sensitivity is infinite.
+	LivenessGrace time.Duration
+	// Bucket is the throughput series granularity.
+	Bucket time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Validators == 0 {
+		c.Validators = 10
+	}
+	if c.Clients == 0 {
+		c.Clients = 5
+	}
+	if c.RatePerClient == 0 {
+		c.RatePerClient = 40
+	}
+	if c.AccountsPerClient == 0 {
+		c.AccountsPerClient = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 400 * time.Second
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 1
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 30 * time.Second
+	}
+	if c.LivenessGrace == 0 {
+		c.LivenessGrace = 30 * time.Second
+	}
+	if c.Bucket == 0 {
+		c.Bucket = time.Second
+	}
+	if c.Fault.InjectAt == 0 {
+		c.Fault.InjectAt = 133 * time.Second
+	}
+	if c.Fault.RecoverAt == 0 {
+		c.Fault.RecoverAt = 266 * time.Second
+	}
+	if c.Fault.SlowBy == 0 {
+		c.Fault.SlowBy = 30 * time.Second
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.System == nil {
+		return fmt.Errorf("core: config needs a System")
+	}
+	if c.Clients > c.Validators {
+		return fmt.Errorf("core: %d clients need at most %d validators", c.Clients, c.Validators)
+	}
+	f := c.faultCount()
+	if f > c.Validators-c.Clients && faultNeedsNodes(c.Fault.Kind) {
+		return fmt.Errorf("core: %d faulty nodes but only %d validators have no client attached",
+			f, c.Validators-c.Clients)
+	}
+	if c.Fanout > c.Clients {
+		return fmt.Errorf("core: fanout %d exceeds the %d client-facing validators", c.Fanout, c.Clients)
+	}
+	return nil
+}
+
+func faultNeedsNodes(k FaultKind) bool {
+	switch k {
+	case FaultCrash, FaultTransient, FaultPartition, FaultSlow:
+		return true
+	default:
+		return false
+	}
+}
+
+// faultCount resolves f for the plan: an explicit count wins; otherwise the
+// paper's choice of f = t for crashes and f = t+1 for transient failures and
+// partitions.
+func (c Config) faultCount() int {
+	if c.Fault.Count > 0 {
+		return c.Fault.Count
+	}
+	t := c.System.Tolerance(c.Validators)
+	switch c.Fault.Kind {
+	case FaultCrash:
+		return t
+	case FaultTransient, FaultPartition, FaultSlow:
+		return t + 1
+	default:
+		return 0
+	}
+}
+
+// Network id layout.
+const (
+	clientIDBase   = 100
+	readerIDBase   = 500
+	observerIDBase = 1000
+	primaryID      = 2000
+)
+
+// RunResult is everything measured in one run.
+type RunResult struct {
+	// Latencies are client-observed commit latencies in seconds.
+	Latencies []float64
+	// Throughput is the chain-side unique-commit series.
+	Throughput stats.TimeSeries
+	// UniqueCommits is the chain-side count of distinct committed txs.
+	UniqueCommits int
+	// Submitted is the number of distinct transactions clients issued.
+	Submitted int
+	// Pending is how many never completed client-side.
+	Pending int
+	// LastCommitAt is the chain-side time of the final commit.
+	LastCommitAt time.Duration
+	// MaxHeight is the highest block applied anywhere.
+	MaxHeight int
+	// LivenessLost reports that commits stopped well before the end.
+	LivenessLost bool
+	// FaultyNodes lists the injected-fault targets.
+	FaultyNodes []simnet.NodeID
+	// Events counts scheduler events, a cost measure for benchmarks.
+	Events uint64
+	// NetStats snapshots network counters.
+	NetStats simnet.Stats
+	// Verified-read measurements (only when Config.ReadRate > 0).
+	ReadLatencies   []float64
+	Reads           int
+	ReadMismatches  int
+	ReadDivergences int
+	// IntegrityErrors lists hash-chain violations the monitor observed
+	// across the committed block sequence; always empty for a correct
+	// deployment.
+	IntegrityErrors []string
+}
+
+// Run executes a single experiment run and collects its measurements.
+func Run(cfg Config) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	sched := sim.New(cfg.Seed)
+	net := simnet.New(sched, simnet.Config{Latency: cfg.Latency})
+	if cfg.TraceWriter != nil {
+		net.SetTracer(simnet.WriterTracer(cfg.TraceWriter))
+	}
+	monitor := chain.NewMonitor()
+
+	// Validators.
+	peers := make([]simnet.NodeID, cfg.Validators)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	genesis := genesisAccounts(cfg)
+	for _, id := range peers {
+		net.AddNode(id, cfg.System.NewValidator(id, peers, monitor, genesis))
+	}
+	net.ManageConns(peers, cfg.System.ConnParams())
+
+	// Observers and primary (Fig 2).
+	mapping := make(map[simnet.NodeID]simnet.NodeID, cfg.Validators)
+	for i, id := range peers {
+		obsID := simnet.NodeID(observerIDBase + i)
+		net.AddNode(obsID, observer.New(id, net))
+		mapping[id] = obsID
+	}
+	faulty := cfg.faultyNodes()
+	script := cfg.faultScript(faulty)
+	net.AddNode(primaryID, observer.NewPrimary(script, mapping))
+
+	// Clients.
+	clients := make([]*client.Client, cfg.Clients)
+	accountSets := workload.Accounts(cfg.Clients, cfg.AccountsPerClient)
+	all := workload.AllAccounts(accountSets)
+	for i := range clients {
+		gen := workload.NewGenerator(uint32(i), accountSets[i], all,
+			sched.RNG(fmt.Sprintf("workload/%d", i)))
+		clients[i] = client.New(client.Config{
+			Index:      uint32(i),
+			Endpoints:  cfg.clientEndpoints(i),
+			Rate:       cfg.RatePerClient,
+			Profile:    cfg.Profile,
+			Stop:       cfg.Duration,
+			RetryAfter: cfg.RetryAfter,
+			MaxRetries: cfg.MaxRetries,
+		}, gen)
+		net.AddNode(simnet.NodeID(clientIDBase+i), clients[i])
+	}
+
+	// Optional credence.js-style verified readers (§9).
+	var readers []*client.VerifiedReader
+	if cfg.ReadRate > 0 {
+		fanout := cfg.System.Tolerance(cfg.Validators) + 1
+		if fanout > cfg.Clients {
+			fanout = cfg.Clients
+		}
+		for i := 0; i < cfg.Clients; i++ {
+			eps := make([]simnet.NodeID, fanout)
+			for j := range eps {
+				eps[j] = simnet.NodeID((i + j) % cfg.Clients)
+			}
+			r := client.NewVerifiedReader(client.ReaderConfig{
+				Endpoints: eps,
+				Accounts:  all,
+				Rate:      cfg.ReadRate,
+				Stop:      cfg.Duration,
+			})
+			readers = append(readers, r)
+			net.AddNode(simnet.NodeID(readerIDBase+i), r)
+		}
+	}
+
+	net.StartAll()
+	sched.RunUntil(cfg.Duration)
+
+	res := &RunResult{
+		IntegrityErrors: monitor.IntegrityErrors(),
+		UniqueCommits:   monitor.UniqueCommits(),
+		LastCommitAt:    monitor.LastCommitAt(),
+		MaxHeight:       monitor.MaxHeight(),
+		FaultyNodes:     faulty,
+		Events:          sched.Fired(),
+		NetStats:        net.Stats(),
+	}
+	times := make([]time.Duration, 0, monitor.UniqueCommits())
+	for _, ev := range monitor.Commits() {
+		times = append(times, ev.Committed)
+	}
+	res.Throughput = stats.Throughput(times, cfg.Bucket, cfg.Duration)
+	for _, cl := range clients {
+		res.Latencies = append(res.Latencies, cl.Latencies()...)
+		res.Submitted += cl.Submitted()
+		res.Pending += cl.PendingCount()
+	}
+	for _, r := range readers {
+		res.ReadLatencies = append(res.ReadLatencies, r.Latencies()...)
+		res.Reads += r.Reads()
+		res.ReadMismatches += r.Mismatches()
+		res.ReadDivergences += r.Divergences()
+	}
+	res.LivenessLost = res.LastCommitAt < cfg.Duration-cfg.LivenessGrace
+	return res, nil
+}
+
+// genesisAccounts funds every workload account generously so transfers never
+// fail for lack of balance.
+func genesisAccounts(cfg Config) []chain.GenesisAccount {
+	total := cfg.Clients * cfg.AccountsPerClient
+	out := make([]chain.GenesisAccount, total)
+	for i := range out {
+		out[i] = chain.GenesisAccount{Addr: chain.Address(i), Balance: 1 << 40}
+	}
+	return out
+}
+
+// faultyNodes picks the f fault targets from the validators that serve no
+// clients, exactly as the paper deploys ("faulty nodes never receive
+// transactions they would otherwise lose").
+func (c Config) faultyNodes() []simnet.NodeID {
+	f := c.faultCount()
+	if !faultNeedsNodes(c.Fault.Kind) || f == 0 {
+		return nil
+	}
+	out := make([]simnet.NodeID, 0, f)
+	for i := c.Validators - 1; i >= 0 && len(out) < f; i-- {
+		out = append(out, simnet.NodeID(i))
+	}
+	return out
+}
+
+// clientEndpoints maps client i to its Fanout validators among the
+// client-facing ones.
+func (c Config) clientEndpoints(i int) []simnet.NodeID {
+	eps := make([]simnet.NodeID, c.Fanout)
+	for j := range eps {
+		eps[j] = simnet.NodeID((i + j) % c.Clients)
+	}
+	return eps
+}
+
+// faultScript translates the plan into primary actions.
+func (c Config) faultScript(faulty []simnet.NodeID) []observer.Action {
+	switch c.Fault.Kind {
+	case FaultCrash:
+		return []observer.Action{{At: c.Fault.InjectAt, Kill: faulty}}
+	case FaultTransient:
+		return []observer.Action{
+			{At: c.Fault.InjectAt, Kill: faulty},
+			{At: c.Fault.RecoverAt, Reboot: faulty},
+		}
+	case FaultPartition:
+		others := make([]simnet.NodeID, 0, c.Validators-len(faulty))
+		isFaulty := make(map[simnet.NodeID]bool, len(faulty))
+		for _, id := range faulty {
+			isFaulty[id] = true
+		}
+		for i := 0; i < c.Validators; i++ {
+			if !isFaulty[simnet.NodeID(i)] {
+				others = append(others, simnet.NodeID(i))
+			}
+		}
+		return []observer.Action{
+			{At: c.Fault.InjectAt, PartitionA: faulty, PartitionB: others},
+			{At: c.Fault.RecoverAt, Heal: faulty},
+		}
+	case FaultSlow:
+		return []observer.Action{
+			{At: c.Fault.InjectAt, Slow: faulty, SlowBy: c.Fault.SlowBy},
+			{At: c.Fault.RecoverAt, Fast: faulty},
+		}
+	default:
+		return nil
+	}
+}

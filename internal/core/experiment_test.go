@@ -1,0 +1,318 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/simnet"
+)
+
+// stubSystem is a minimal chain for exercising the harness: node 0 seals its
+// pool into a block twice per second and broadcasts it; every node forwards
+// client transactions to node 0. With FragileQuorum set, sealing stops as
+// soon as any validator is unreachable — a maximally fragile chain.
+type stubSystem struct {
+	fragile bool
+	name    string
+}
+
+func (s *stubSystem) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	return "Stub"
+}
+func (s *stubSystem) Tolerance(n int) int           { return chain.ToleranceThird(n) }
+func (s *stubSystem) ConnParams() simnet.ConnParams { return simnet.ConnParams{} }
+
+func (s *stubSystem) NewValidator(id simnet.NodeID, peers []simnet.NodeID, mon *chain.Monitor, genesis []chain.GenesisAccount) simnet.Handler {
+	v := &stubValidator{
+		base:    chain.NewBaseNode(id, peers, mon, chain.BaseConfig{}),
+		fragile: s.fragile,
+	}
+	for _, g := range genesis {
+		v.base.Ledger.Mint(g.Addr, g.Balance)
+	}
+	return v
+}
+
+type stubValidator struct {
+	base    *chain.BaseNode
+	fragile bool
+	ticker  interface{ Stop() }
+	alive   map[simnet.NodeID]bool
+}
+
+type stubForward struct{ Tx chain.Tx }
+type stubBlock struct{ Block chain.Block }
+type stubPing struct{}
+type stubPong struct{ From simnet.NodeID }
+
+func (v *stubValidator) Start(ctx *simnet.Context) {
+	v.base.Reset(ctx)
+	v.base.OnLocalSubmit = func(tx chain.Tx) {
+		if v.base.ID != v.base.Peers[0] {
+			ctx.Send(v.base.Peers[0], stubForward{Tx: tx})
+			v.base.Subscribe(tx.ID, v.base.ID)
+		}
+	}
+	if v.base.ID == v.base.Peers[0] {
+		alive := make(map[simnet.NodeID]bool)
+		v.ticker = ctx.Every(500*time.Millisecond, func() {
+			if v.fragile {
+				// Probe everyone; seal only if all answered last time.
+				ok := true
+				for _, p := range v.base.Peers[1:] {
+					if !alive[p] {
+						ok = false
+					}
+					alive[p] = false
+				}
+				ctx.Broadcast(v.base.Peers, stubPing{})
+				if !ok && ctx.Now() > time.Second {
+					return
+				}
+			}
+			txs := v.base.Pool.Pop(0)
+			b := chain.Block{
+				Height:    v.base.ChainTip(),
+				Parent:    v.base.TipHash(),
+				Txs:       txs,
+				DecidedAt: ctx.Now(),
+			}
+			v.base.SubmitBlock(b)
+			ctx.Broadcast(v.base.Peers, stubBlock{Block: b})
+		})
+		v.alive = alive
+	} else if v.base.Ledger.Height() > 0 {
+		v.base.StartCatchUp()
+	}
+}
+
+func (v *stubValidator) Stop() {
+	if v.ticker != nil {
+		v.ticker.Stop()
+	}
+}
+
+func (v *stubValidator) Deliver(from simnet.NodeID, payload any) {
+	if v.base.HandleClient(from, payload) || v.base.HandleSync(from, payload) {
+		return
+	}
+	switch msg := payload.(type) {
+	case stubForward:
+		v.base.Pool.Add(msg.Tx)
+	case stubBlock:
+		v.base.SubmitBlock(msg.Block)
+	case stubPing:
+		v.base.Ctx().Send(from, stubPong{From: v.base.ID})
+	case stubPong:
+		if v.alive != nil {
+			v.alive[msg.From] = true
+		}
+	}
+}
+
+func TestRunDefaultsAndBaseline(t *testing.T) {
+	res, err := Run(Config{System: &stubSystem{}, Seed: 1, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 clients x 40 tx/s x 30 s = ~6000.
+	if res.Submitted < 5900 || res.Submitted > 6005 {
+		t.Fatalf("submitted = %d", res.Submitted)
+	}
+	if res.UniqueCommits < res.Submitted*95/100 {
+		t.Fatalf("commits = %d of %d", res.UniqueCommits, res.Submitted)
+	}
+	if res.LivenessLost {
+		t.Fatal("stub baseline lost liveness")
+	}
+	if len(res.FaultyNodes) != 0 {
+		t.Fatalf("baseline has faulty nodes: %v", res.FaultyNodes)
+	}
+	if res.Events == 0 {
+		t.Fatal("no events counted")
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := Run(Config{System: &stubSystem{}, Clients: 11, Validators: 10}); err == nil {
+		t.Fatal("more clients than validators accepted")
+	}
+	if _, err := Run(Config{System: &stubSystem{}, Fanout: 6}); err == nil {
+		t.Fatal("fanout beyond client-facing validators accepted")
+	}
+	if _, err := Run(Config{
+		System: &stubSystem{},
+		Fault:  FaultPlan{Kind: FaultCrash, Count: 6},
+	}); err == nil {
+		t.Fatal("fault count overlapping client-facing validators accepted")
+	}
+}
+
+func TestFaultyNodesAvoidClientFacingValidators(t *testing.T) {
+	cfg := Config{System: &stubSystem{}, Fault: FaultPlan{Kind: FaultTransient}}.withDefaults()
+	faulty := cfg.faultyNodes()
+	// t = 3 for the stub => f = t+1 = 4, drawn from the top ids.
+	if len(faulty) != 4 {
+		t.Fatalf("faulty = %v, want 4 nodes", faulty)
+	}
+	for _, id := range faulty {
+		if int(id) < cfg.Clients {
+			t.Fatalf("faulty node %v serves a client", id)
+		}
+	}
+}
+
+func TestClientEndpointsFanOutOverClientFacingNodes(t *testing.T) {
+	cfg := Config{System: &stubSystem{}, Fanout: 4}.withDefaults()
+	eps := cfg.clientEndpoints(3)
+	want := []simnet.NodeID{3, 4, 0, 1}
+	if len(eps) != len(want) {
+		t.Fatalf("endpoints = %v", eps)
+	}
+	for i := range want {
+		if eps[i] != want[i] {
+			t.Fatalf("endpoints = %v, want %v", eps, want)
+		}
+	}
+}
+
+func TestCrashOnFragileChainLosesLiveness(t *testing.T) {
+	res, err := Run(Config{
+		System:   &stubSystem{fragile: true},
+		Seed:     1,
+		Duration: 60 * time.Second,
+		Fault:    FaultPlan{Kind: FaultCrash, InjectAt: 20 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LivenessLost {
+		t.Fatalf("fragile chain survived crash; last commit %v", res.LastCommitAt)
+	}
+	if res.LastCommitAt > 25*time.Second {
+		t.Fatalf("commits continued past the crash: %v", res.LastCommitAt)
+	}
+}
+
+func TestTransientOnStubRecovers(t *testing.T) {
+	res, err := Run(Config{
+		System:   &stubSystem{fragile: true},
+		Seed:     1,
+		Duration: 90 * time.Second,
+		Fault:    FaultPlan{Kind: FaultTransient, InjectAt: 20 * time.Second, RecoverAt: 40 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LivenessLost {
+		t.Fatalf("stub did not recover; last commit %v", res.LastCommitAt)
+	}
+	during := res.Throughput.MeanRate(25*time.Second, 40*time.Second)
+	if during > 10 {
+		t.Fatalf("fragile stub committed %v/s during outage", during)
+	}
+}
+
+func TestCompareComputesScoreAndRecovery(t *testing.T) {
+	cmp, err := Compare(Config{
+		System:   &stubSystem{fragile: true},
+		Seed:     1,
+		Duration: 90 * time.Second,
+		Fault:    FaultPlan{Kind: FaultTransient, InjectAt: 20 * time.Second, RecoverAt: 40 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Score.Infinite {
+		t.Fatal("recovering stub scored infinite")
+	}
+	if cmp.Score.Value <= 0 {
+		t.Fatal("outage left no trace in the score")
+	}
+	if !cmp.Recovered {
+		t.Fatal("recovery not detected")
+	}
+	if cmp.RecoveryTime > 20*time.Second {
+		t.Fatalf("recovery time = %v", cmp.RecoveryTime)
+	}
+	if !strings.Contains(cmp.String(), "transient") {
+		t.Fatalf("String() = %q", cmp.String())
+	}
+}
+
+func TestCompareInfiniteOnLivenessLoss(t *testing.T) {
+	cmp, err := Compare(Config{
+		System:   &stubSystem{fragile: true},
+		Seed:     1,
+		Duration: 60 * time.Second,
+		Fault:    FaultPlan{Kind: FaultCrash, InjectAt: 20 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Score.Infinite {
+		t.Fatal("liveness loss not reflected as infinite score")
+	}
+	if cmp.Score.String() != "inf" {
+		t.Fatalf("score string = %q", cmp.Score.String())
+	}
+}
+
+func TestSecureClientFanoutAppliedInAlteredRun(t *testing.T) {
+	cmp, err := Compare(Config{
+		System:   &stubSystem{},
+		Seed:     1,
+		Duration: 30 * time.Second,
+		Fault:    FaultPlan{Kind: FaultSecureClient},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stub tolerance is 3 -> fanout 4: the altered run must complete all
+	// transactions through 4 endpoints (completion needs all of them).
+	if cmp.Altered.Submitted == 0 || cmp.Altered.Pending > cmp.Altered.Submitted/10 {
+		t.Fatalf("secure run: %d submitted, %d pending", cmp.Altered.Submitted, cmp.Altered.Pending)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	cases := map[FaultKind]string{
+		FaultNone:         "none",
+		FaultCrash:        "crash",
+		FaultTransient:    "transient",
+		FaultPartition:    "partition",
+		FaultSecureClient: "secure-client",
+		FaultKind(42):     "FaultKind(42)",
+	}
+	for kind, want := range cases {
+		if kind.String() != want {
+			t.Fatalf("String(%d) = %q", int(kind), kind.String())
+		}
+	}
+}
+
+func TestPartitionScriptSeparatesGroups(t *testing.T) {
+	cfg := Config{System: &stubSystem{}, Fault: FaultPlan{Kind: FaultPartition}}.withDefaults()
+	faulty := cfg.faultyNodes()
+	script := cfg.faultScript(faulty)
+	if len(script) != 2 {
+		t.Fatalf("script = %d actions", len(script))
+	}
+	if len(script[0].PartitionA) != len(faulty) {
+		t.Fatal("partition A mismatch")
+	}
+	if len(script[0].PartitionB) != cfg.Validators-len(faulty) {
+		t.Fatal("partition B mismatch")
+	}
+	if len(script[1].Heal) != len(faulty) {
+		t.Fatal("heal action mismatch")
+	}
+}

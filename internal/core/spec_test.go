@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+)
+
+func stubResolver(name string) (chain.System, error) {
+	return &stubSystem{name: name}, nil
+}
+
+func TestParseSpecFullRoundTrip(t *testing.T) {
+	in := `{
+		"system": "Redbelly",
+		"seed": 7,
+		"validators": 12,
+		"clients": 6,
+		"ratePerClient": 25,
+		"durationSec": 120,
+		"fanout": 2,
+		"readRate": 1.5,
+		"fault": {"kind": "transient", "injectSec": 40, "recoverSec": 80},
+		"profile": {"kind": "burst", "periodSec": 30, "burstSec": 5, "factor": 3}
+	}`
+	spec, err := ParseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config(stubResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.System.Name() != "Redbelly" || cfg.Seed != 7 || cfg.Validators != 12 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Duration != 120*time.Second || cfg.Fault.Kind != FaultTransient {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Fault.InjectAt != 40*time.Second || cfg.Fault.RecoverAt != 80*time.Second {
+		t.Fatalf("fault = %+v", cfg.Fault)
+	}
+	if cfg.Profile == nil {
+		t.Fatal("profile not built")
+	}
+	if got := cfg.Profile(2 * time.Second); got != 3 {
+		t.Fatalf("profile(2s) = %v, want burst factor", got)
+	}
+	if got := cfg.Profile(20 * time.Second); got != 1 {
+		t.Fatalf("profile(20s) = %v", got)
+	}
+	// And the config actually runs.
+	cfg.Duration = 20 * time.Second
+	cfg.Fault = FaultPlan{}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec(strings.NewReader(`{"system": "X", "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestSpecRejectsUnknownFaultAndProfile(t *testing.T) {
+	spec := Spec{System: "X", Fault: FaultSpec{Kind: "meteor"}}
+	if _, err := spec.Config(stubResolver); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+	spec = Spec{System: "X", Profile: &ProfileSpec{Kind: "square"}}
+	if _, err := spec.Config(stubResolver); err == nil {
+		t.Fatal("unknown profile kind accepted")
+	}
+}
+
+func TestSpecProfileKinds(t *testing.T) {
+	for _, kind := range []string{"", "constant", "ramp", "sine"} {
+		p := ProfileSpec{Kind: kind, From: 1, To: 2, RampSec: 10, Amplitude: 0.5, PeriodSec: 60}
+		profile, err := p.build()
+		if err != nil {
+			t.Fatalf("%q: %v", kind, err)
+		}
+		if profile(0) < 0 {
+			t.Fatalf("%q: negative multiplier", kind)
+		}
+	}
+}
+
+func TestSpecWriteJSONRoundTrip(t *testing.T) {
+	spec := Spec{System: "Aptos", Seed: 3, DurationSec: 60, Fault: FaultSpec{Kind: "crash", InjectSec: 20}}
+	var buf bytes.Buffer
+	if err := spec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != spec {
+		t.Fatalf("round trip: %+v vs %+v", back, spec)
+	}
+}

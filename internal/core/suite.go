@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"stabl/internal/chain"
+)
+
+// SuiteConfig describes a full sensitivity sweep: every (system, fault)
+// cell, repeated over several seeds. This is the paper's "pluggable in
+// continuous integration pipelines" mode: scores come back aggregated with
+// their run-to-run spread so a regression gate can distinguish drift from
+// noise.
+type SuiteConfig struct {
+	// Base is the deployment template; its System, Seed and Fault.Kind
+	// fields are overridden per cell.
+	Base Config
+	// Systems under test.
+	Systems []chain.System
+	// Faults to inject; defaults to the paper's four.
+	Faults []FaultKind
+	// Seeds to repeat each cell with; defaults to {1, 2, 3}.
+	Seeds []int64
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if len(c.Faults) == 0 {
+		c.Faults = []FaultKind{FaultCrash, FaultTransient, FaultPartition, FaultSecureClient}
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+	return c
+}
+
+// Cell aggregates one (system, fault) pair over all seeds.
+type Cell struct {
+	System string    `json:"system"`
+	Fault  string    `json:"fault"`
+	Runs   int       `json:"runs"`
+	Scores []float64 `json:"scores"`
+	// MeanScore and ScoreStddev aggregate the finite scores.
+	MeanScore   float64 `json:"meanScore"`
+	ScoreStddev float64 `json:"scoreStddev"`
+	// InfiniteRuns counts liveness losses; BenefitRuns counts runs where
+	// the altered environment outperformed the baseline.
+	InfiniteRuns int `json:"infiniteRuns"`
+	BenefitRuns  int `json:"benefitRuns"`
+	// RecoveredRuns and MeanRecoverySec aggregate recovery behaviour
+	// (transient and partition faults only).
+	RecoveredRuns   int     `json:"recoveredRuns,omitempty"`
+	MeanRecoverySec float64 `json:"meanRecoverySec,omitempty"`
+}
+
+// Stable reports whether every repetition agreed on liveness: either all
+// runs kept liveness or none did. A mixed cell sits on a failure boundary
+// and needs investigation before being used as a CI gate.
+func (c *Cell) Stable() bool {
+	return c.InfiniteRuns == 0 || c.InfiniteRuns == c.Runs
+}
+
+// String renders one row of a suite summary.
+func (c *Cell) String() string {
+	if c.InfiniteRuns == c.Runs {
+		return fmt.Sprintf("%-10s %-13s inf (all %d runs lost liveness)", c.System, c.Fault, c.Runs)
+	}
+	return fmt.Sprintf("%-10s %-13s score=%.2f±%.2f (inf %d/%d, benefit %d/%d)",
+		c.System, c.Fault, c.MeanScore, c.ScoreStddev,
+		c.InfiniteRuns, c.Runs, c.BenefitRuns, c.Runs)
+}
+
+// SuiteResult is the complete sweep outcome.
+type SuiteResult struct {
+	Cells []*Cell `json:"cells"`
+}
+
+// Cell returns the aggregation for a (system, fault) pair, or nil.
+func (r *SuiteResult) Cell(system string, fault FaultKind) *Cell {
+	for _, c := range r.Cells {
+		if c.System == system && c.Fault == fault.String() {
+			return c
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the suite result as indented JSON.
+func (r *SuiteResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunSuite executes the sweep. Cells are ordered by system, then fault;
+// seeds vary fastest. Any run error aborts the suite.
+func RunSuite(cfg SuiteConfig) (*SuiteResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Systems) == 0 {
+		return nil, fmt.Errorf("core: suite needs at least one system")
+	}
+	result := &SuiteResult{}
+	for _, sys := range cfg.Systems {
+		for _, fault := range cfg.Faults {
+			cell := &Cell{System: sys.Name(), Fault: fault.String()}
+			var recoverySum time.Duration
+			for _, seed := range cfg.Seeds {
+				runCfg := cfg.Base
+				runCfg.System = sys
+				runCfg.Seed = seed
+				runCfg.Fault.Kind = fault
+				cmp, err := Compare(runCfg)
+				if err != nil {
+					return nil, fmt.Errorf("suite %s/%v seed %d: %w", sys.Name(), fault, seed, err)
+				}
+				cell.Runs++
+				if cmp.Score.Infinite {
+					cell.InfiniteRuns++
+				} else {
+					cell.Scores = append(cell.Scores, cmp.Score.Value)
+				}
+				if cmp.Score.Benefit {
+					cell.BenefitRuns++
+				}
+				if cmp.Recovered {
+					cell.RecoveredRuns++
+					recoverySum += cmp.RecoveryTime
+				}
+			}
+			if len(cell.Scores) > 0 {
+				var sum float64
+				for _, s := range cell.Scores {
+					sum += s
+				}
+				cell.MeanScore = sum / float64(len(cell.Scores))
+				var varsum float64
+				for _, s := range cell.Scores {
+					varsum += (s - cell.MeanScore) * (s - cell.MeanScore)
+				}
+				cell.ScoreStddev = math.Sqrt(varsum / float64(len(cell.Scores)))
+			}
+			if cell.RecoveredRuns > 0 {
+				cell.MeanRecoverySec = recoverySum.Seconds() / float64(cell.RecoveredRuns)
+			}
+			result.Cells = append(result.Cells, cell)
+		}
+	}
+	return result, nil
+}

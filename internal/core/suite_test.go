@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"stabl/internal/chain"
+)
+
+func TestRunSuiteAggregates(t *testing.T) {
+	res, err := RunSuite(SuiteConfig{
+		Base: Config{
+			Duration: 60 * time.Second,
+			Fault:    FaultPlan{InjectAt: 15 * time.Second, RecoverAt: 25 * time.Second},
+		},
+		Systems: []chain.System{
+			&stubSystem{name: "Solid"},
+			&stubSystem{name: "Fragile", fragile: true},
+		},
+		Faults: []FaultKind{FaultCrash, FaultTransient},
+		Seeds:  []int64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+
+	// The fragile stub halts for good under a crash: every seed loses
+	// liveness.
+	fragileCrash := res.Cell("Fragile", FaultCrash)
+	if fragileCrash == nil {
+		t.Fatal("missing Fragile/crash cell")
+	}
+	if fragileCrash.InfiniteRuns != 2 || !fragileCrash.Stable() {
+		t.Fatalf("Fragile/crash = %+v", fragileCrash)
+	}
+	if !strings.Contains(fragileCrash.String(), "inf") {
+		t.Fatalf("String = %q", fragileCrash.String())
+	}
+
+	// It recovers from transient failures on every seed.
+	fragileTransient := res.Cell("Fragile", FaultTransient)
+	if fragileTransient.InfiniteRuns != 0 {
+		t.Fatalf("Fragile/transient = %+v", fragileTransient)
+	}
+	if fragileTransient.RecoveredRuns != 2 {
+		t.Fatalf("recovered runs = %d", fragileTransient.RecoveredRuns)
+	}
+	if len(fragileTransient.Scores) != 2 || fragileTransient.MeanScore <= 0 {
+		t.Fatalf("scores = %+v", fragileTransient)
+	}
+
+	// The solid stub barely notices crashes of non-sealer nodes.
+	solidCrash := res.Cell("Solid", FaultCrash)
+	if solidCrash.InfiniteRuns != 0 {
+		t.Fatalf("Solid/crash = %+v", solidCrash)
+	}
+	if solidCrash.MeanScore >= fragileTransient.MeanScore {
+		t.Fatalf("solid crash score %.2f >= fragile transient %.2f",
+			solidCrash.MeanScore, fragileTransient.MeanScore)
+	}
+}
+
+func TestRunSuiteRejectsEmptySystems(t *testing.T) {
+	if _, err := RunSuite(SuiteConfig{}); err == nil {
+		t.Fatal("empty suite accepted")
+	}
+}
+
+func TestSuiteResultJSONRoundTrip(t *testing.T) {
+	res, err := RunSuite(SuiteConfig{
+		Base:    Config{Duration: 45 * time.Second, Fault: FaultPlan{InjectAt: 8 * time.Second, RecoverAt: 12 * time.Second}},
+		Systems: []chain.System{&stubSystem{}},
+		Faults:  []FaultKind{FaultCrash},
+		Seeds:   []int64{7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SuiteResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Cells) != 1 || decoded.Cells[0].System != "Stub" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}
+
+func TestReportDigestsComparison(t *testing.T) {
+	cmp, err := Compare(Config{
+		System:   &stubSystem{fragile: true},
+		Seed:     1,
+		Duration: 60 * time.Second,
+		Fault:    FaultPlan{Kind: FaultTransient, InjectAt: 20 * time.Second, RecoverAt: 35 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(cmp)
+	if rep.System != "Stub" || rep.Fault != "transient" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Baseline.Latency.Count == 0 || rep.Altered.Latency.Count == 0 {
+		t.Fatal("latency summaries empty")
+	}
+	if rep.KSDistance <= 0 || rep.KSDistance > 1 {
+		t.Fatalf("KS = %v", rep.KSDistance)
+	}
+	if !rep.Recovered {
+		t.Fatal("recovery flag lost")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ksDistance"`) {
+		t.Fatalf("json = %s", buf.String())
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Score != rep.Score {
+		t.Fatal("score did not round-trip")
+	}
+}

@@ -1,0 +1,133 @@
+package observer
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/sim"
+	"stabl/internal/simnet"
+)
+
+type nopHandler struct {
+	ctx    *simnet.Context
+	starts int
+	stops  int
+	got    []any
+}
+
+func (h *nopHandler) Start(ctx *simnet.Context) { h.ctx = ctx; h.starts++ }
+func (h *nopHandler) Stop()                     { h.stops++ }
+func (h *nopHandler) Deliver(_ simnet.NodeID, payload any) {
+	h.got = append(h.got, payload)
+}
+
+func observerSetup(t *testing.T, script []Action) (*sim.Scheduler, *simnet.Network, []*nopHandler, *Primary, []*Observer) {
+	t.Helper()
+	sched := sim.New(3)
+	net := simnet.New(sched, simnet.Config{Latency: simnet.FixedLatency(5 * time.Millisecond)})
+	const nodes = 4
+	hs := make([]*nopHandler, nodes)
+	obs := make([]*Observer, nodes)
+	mapping := make(map[simnet.NodeID]simnet.NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		hs[i] = &nopHandler{}
+		net.AddNode(simnet.NodeID(i), hs[i])
+		obs[i] = New(simnet.NodeID(i), net)
+		obsID := simnet.NodeID(200 + i)
+		net.AddNode(obsID, obs[i])
+		mapping[simnet.NodeID(i)] = obsID
+	}
+	primary := NewPrimary(script, mapping)
+	net.AddNode(299, primary)
+	net.StartAll()
+	return sched, net, hs, primary, obs
+}
+
+func TestPrimaryKillAndRebootViaObservers(t *testing.T) {
+	script := []Action{
+		{At: 10 * time.Second, Kill: []simnet.NodeID{1, 2}},
+		{At: 20 * time.Second, Reboot: []simnet.NodeID{1, 2}},
+	}
+	sched, net, hs, primary, _ := observerSetup(t, script)
+	sched.RunUntil(15 * time.Second)
+	if net.IsUp(1) || net.IsUp(2) {
+		t.Fatal("kill signal not executed")
+	}
+	if net.IsUp(0) != true {
+		t.Fatal("untargeted node killed")
+	}
+	if hs[1].stops != 1 {
+		t.Fatal("handler Stop not invoked")
+	}
+	sched.RunUntil(25 * time.Second)
+	if !net.IsUp(1) || !net.IsUp(2) {
+		t.Fatal("reboot signal not executed")
+	}
+	if hs[1].starts != 2 {
+		t.Fatalf("starts = %d, want 2", hs[1].starts)
+	}
+	if primary.Executed() != 2 {
+		t.Fatalf("executed = %d", primary.Executed())
+	}
+	if primary.Acks() != 4 {
+		t.Fatalf("acks = %d, want 4", primary.Acks())
+	}
+}
+
+func TestObserverPartitionAndHeal(t *testing.T) {
+	script := []Action{
+		{At: time.Second, PartitionA: []simnet.NodeID{0, 1}, PartitionB: []simnet.NodeID{2, 3}},
+		{At: 10 * time.Second, Heal: []simnet.NodeID{0, 1}},
+	}
+	sched, net, hs, _, obs := observerSetup(t, script)
+	sched.RunUntil(5 * time.Second)
+	if !net.Blocked(0, 2) || !net.Blocked(3, 1) {
+		t.Fatal("partition not installed")
+	}
+	if net.Blocked(0, 1) || net.Blocked(2, 3) {
+		t.Fatal("intra-group traffic blocked")
+	}
+	// Cross-partition message is lost.
+	hs[0].ctx.Send(2, "x")
+	sched.RunUntil(6 * time.Second)
+	if len(hs[2].got) != 0 {
+		t.Fatal("message crossed partition")
+	}
+	sched.RunUntil(11 * time.Second)
+	if net.Blocked(0, 2) {
+		t.Fatal("heal not executed")
+	}
+	hs[0].ctx.Send(2, "y")
+	sched.RunUntil(12 * time.Second)
+	if len(hs[2].got) != 1 {
+		t.Fatal("post-heal message lost")
+	}
+	if log := obs[0].Log(); len(log) != 2 || log[0] != "partition" || log[1] != "heal" {
+		t.Fatalf("observer log = %v", log)
+	}
+}
+
+func TestObserverSurvivesTargetCrash(t *testing.T) {
+	script := []Action{
+		{At: time.Second, Kill: []simnet.NodeID{1}},
+		{At: 2 * time.Second, Kill: []simnet.NodeID{1}}, // idempotent on downed node
+		{At: 3 * time.Second, Reboot: []simnet.NodeID{1}},
+	}
+	sched, net, _, _, _ := observerSetup(t, script)
+	sched.RunUntil(10 * time.Second)
+	if !net.IsUp(1) {
+		t.Fatal("node not rebooted")
+	}
+}
+
+func TestPrimaryIgnoresUnknownNodes(t *testing.T) {
+	script := []Action{{At: time.Second, Kill: []simnet.NodeID{42}}}
+	sched, _, _, primary, _ := observerSetup(t, script)
+	sched.RunUntil(2 * time.Second)
+	if primary.Executed() != 1 {
+		t.Fatal("action with unknown target not executed")
+	}
+	if primary.Acks() != 0 {
+		t.Fatal("phantom ack")
+	}
+}

@@ -1,0 +1,294 @@
+// Package plot renders STABL figures as standalone SVG documents using only
+// the standard library: step/line charts for eCDFs and throughput series,
+// and bar charts for sensitivity scores. The output is deliberately plain —
+// axes, ticks, a legend — matching what the paper's figures need.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named line on a chart.
+type Series struct {
+	Name   string
+	Points []Point
+	// Color is a CSS color; chosen from a default palette when empty.
+	Color string
+	// Dashed draws the line dashed (used for altered runs).
+	Dashed bool
+}
+
+// Chart is a line/step chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+	// VLines draws vertical markers (fault injection/recovery instants).
+	VLines []VLine
+	// YMax forces the y-axis ceiling; zero auto-scales.
+	YMax float64
+}
+
+// VLine is a labelled vertical marker.
+type VLine struct {
+	X     float64
+	Label string
+	Color string
+}
+
+var defaultPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 60
+	marginRight  = 20
+	marginTop    = 34
+	marginBottom = 46
+)
+
+// SVG renders the chart.
+func (c Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 360
+	}
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+
+	xMin, xMax, yMax := c.bounds()
+	if c.YMax > 0 {
+		yMax = c.YMax
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	px := func(x float64) float64 { return float64(marginLeft) + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return float64(marginTop) + (1-y/yMax)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`,
+		marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginLeft, marginTop, marginLeft, h-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		xv := xMin + (xMax-xMin)*float64(i)/4
+		yv := yMax * float64(i) / 4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			px(xv), h-marginBottom+14, formatTick(xv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			marginLeft-6, py(yv)+3, formatTick(yv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`,
+			marginLeft, py(yv), w-marginRight, py(yv))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`,
+		float64(marginLeft)+plotW/2, h-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`,
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+
+	// Vertical markers.
+	for _, vl := range c.VLines {
+		color := vl.Color
+		if color == "" {
+			color = "#d62728"
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-dasharray="4 3"/>`,
+			px(vl.X), marginTop, px(vl.X), h-marginBottom, color)
+		if vl.Label != "" {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" fill="%s">%s</text>`,
+				px(vl.X)+3, marginTop+10, color, escape(vl.Label))
+		}
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultPalette[i%len(defaultPalette)]
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6 3"`
+		}
+		var pts strings.Builder
+		for _, p := range s.Points {
+			y := p.Y
+			if y > yMax {
+				y = yMax
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f ", px(p.X), py(y))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5"%s points="%s"/>`,
+			color, dash, strings.TrimSpace(pts.String()))
+		// Legend entry.
+		lx := w - marginRight - 150
+		ly := marginTop + 14*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`,
+			lx, ly, lx+18, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`,
+			lx+24, ly+3, escape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func (c Chart) bounds() (xMin, xMax, yMax float64) {
+	xMin = math.Inf(1)
+	xMax = math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if p.X < xMin {
+				xMin = p.X
+			}
+			if p.X > xMax {
+				xMax = p.X
+			}
+			if p.Y > yMax {
+				yMax = p.Y
+			}
+		}
+	}
+	for _, vl := range c.VLines {
+		if vl.X < xMin {
+			xMin = vl.X
+		}
+		if vl.X > xMax {
+			xMax = vl.X
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		xMin, xMax = 0, 1
+	}
+	return xMin, xMax, yMax
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Infinite renders the bar at full height with an "inf" cap.
+	Infinite bool
+	// Striped marks benefit bars (the altered environment helped).
+	Striped bool
+}
+
+// BarChart is a vertical bar chart, used for the Fig 3 sensitivity panels.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Width  int
+	Height int
+	Bars   []Bar
+}
+
+// SVG renders the bar chart.
+func (c BarChart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 480
+	}
+	if h <= 0 {
+		h = 320
+	}
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	yMax := 1.0
+	for _, bar := range c.Bars {
+		if !bar.Infinite && bar.Value > yMax {
+			yMax = bar.Value
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	b.WriteString(`<defs><pattern id="stripes" width="6" height="6" patternUnits="userSpaceOnUse" patternTransform="rotate(45)"><rect width="6" height="6" fill="#2ca02c"/><line x1="0" y1="0" x2="0" y2="6" stroke="white" stroke-width="3"/></pattern></defs>`)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`,
+		marginLeft, escape(c.Title))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`,
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+
+	n := len(c.Bars)
+	if n == 0 {
+		b.WriteString(`</svg>`)
+		return b.String()
+	}
+	slot := plotW / float64(n)
+	barW := slot * 0.6
+	for i, bar := range c.Bars {
+		x := float64(marginLeft) + slot*float64(i) + (slot-barW)/2
+		value := bar.Value
+		capped := ""
+		if bar.Infinite {
+			value = yMax
+			capped = "inf"
+		}
+		barH := value / yMax * plotH
+		fill := "#1f77b4"
+		if bar.Striped {
+			fill = "url(#stripes)"
+		}
+		if bar.Infinite {
+			fill = "#d62728"
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="black" stroke-width="0.5"/>`,
+			x, float64(h-marginBottom)-barH, barW, barH, fill)
+		label := bar.Label
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			x+barW/2, h-marginBottom+14, escape(label))
+		annot := formatTick(bar.Value)
+		if capped != "" {
+			annot = capped
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			x+barW/2, float64(h-marginBottom)-barH-4, annot)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestChartSVGWellFormed(t *testing.T) {
+	c := Chart{
+		Title:  "throughput <baseline> & \"altered\"",
+		XLabel: "time (s)",
+		YLabel: "tx/s",
+		Series: []Series{
+			{Name: "baseline", Points: []Point{{0, 100}, {10, 200}, {20, 150}}},
+			{Name: "altered", Points: []Point{{0, 100}, {10, 0}, {20, 50}}, Dashed: true},
+		},
+		VLines: []VLine{{X: 10, Label: "crash"}},
+	}
+	svg := c.SVG()
+	mustParse(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("no polylines rendered")
+	}
+	if strings.Count(svg, "polyline") != 2 {
+		t.Fatalf("polyline count = %d", strings.Count(svg, "polyline"))
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Fatal("dashed series not dashed")
+	}
+	if !strings.Contains(svg, "&lt;baseline&gt;") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "crash") {
+		t.Fatal("vline label missing")
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	mustParse(t, Chart{Title: "empty"}.SVG())
+}
+
+func TestChartYMaxClampsPoints(t *testing.T) {
+	c := Chart{
+		YMax:   10,
+		Series: []Series{{Name: "spike", Points: []Point{{0, 5}, {1, 1000}}}},
+	}
+	svg := c.SVG()
+	mustParse(t, svg)
+	// The spike must be clamped to the plot area: the y coordinate of the
+	// clamped point equals the top margin.
+	if !strings.Contains(svg, "34.0") {
+		t.Fatalf("clamped point not at plot top:\n%s", svg)
+	}
+}
+
+func TestBarChartSVGWellFormed(t *testing.T) {
+	c := BarChart{
+		Title:  "Fig 3a",
+		YLabel: "sensitivity",
+		Bars: []Bar{
+			{Label: "Algorand", Value: 6.2},
+			{Label: "Avalanche", Value: 8.3, Striped: true},
+			{Label: "Solana", Infinite: true},
+		},
+	}
+	svg := c.SVG()
+	mustParse(t, svg)
+	if strings.Count(svg, "<rect") != 5 { // background + stripe pattern + 3 bars
+		t.Fatalf("rect count = %d", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "url(#stripes)") {
+		t.Fatal("striped bar not striped")
+	}
+	if !strings.Contains(svg, ">inf<") {
+		t.Fatal("infinite bar not annotated")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	mustParse(t, BarChart{Title: "none"}.SVG())
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		1234:  "1234",
+		56:    "56",
+		3.25:  "3.2",
+		0.125: "0.12",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

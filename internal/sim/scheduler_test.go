@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsEventsInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(10*time.Millisecond, func() {
+		s.At(time.Millisecond, func() { at = s.Now() })
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("past-scheduled event ran at %v, want 10ms", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if !tm.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.After(time.Second, func() {})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.At(time.Second, func() { fired++ })
+	s.At(3*time.Second, func() { fired++ })
+	s.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", s.Now())
+	}
+	s.RunUntil(3 * time.Second)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (deadline-inclusive)", fired)
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	s := New(1)
+	var loop func()
+	loop = func() { s.After(time.Millisecond, loop) }
+	s.After(0, loop)
+	if err := s.Run(100); err == nil {
+		t.Fatal("Run with runaway loop returned nil error")
+	}
+}
+
+func TestHaltStopsExecution(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.At(time.Second, func() { fired++; s.Halt() })
+	s.At(2*time.Second, func() { fired++ })
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after Halt, want 1", fired)
+	}
+	if !s.Halted() {
+		t.Fatal("Halted() = false")
+	}
+}
+
+func TestNegativeAfterClampedToZero(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.Step()
+	if !ran || s.Now() != 0 {
+		t.Fatalf("negative After: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestRNGDeterministicPerName(t *testing.T) {
+	a := New(42).RNG("gossip")
+	b := New(42).RNG("gossip")
+	c := New(42).RNG("sortition")
+	for i := 0; i < 100; i++ {
+		av, bv := a.Int63(), b.Int63()
+		if av != bv {
+			t.Fatalf("same (seed,name) diverged at draw %d", i)
+		}
+		if av == c.Int63() && i == 0 {
+			t.Log("note: different names drew equal first value (unlikely)")
+		}
+	}
+}
+
+func TestRNGDiffersAcrossSeeds(t *testing.T) {
+	a := New(1).RNG("x")
+	b := New(2).RNG("x")
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.Int63() != b.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("streams for different seeds are identical")
+	}
+}
+
+func TestFiredAndPendingCounters(t *testing.T) {
+	s := New(1)
+	s.After(time.Millisecond, func() {})
+	s.After(2*time.Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Step()
+	if s.Fired() != 1 || s.Pending() != 1 {
+		t.Fatalf("Fired=%d Pending=%d, want 1,1", s.Fired(), s.Pending())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock never goes backwards.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16, seed int64) bool {
+		if len(delays) > 256 {
+			delays = delays[:256]
+		}
+		s := New(seed)
+		var times []time.Duration
+		for _, d := range delays {
+			s.At(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		if err := s.Run(0); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved scheduling from inside events preserves the global
+// (time, seq) order; an event never observes a clock earlier than the
+// instant it was scheduled for.
+func TestPropertyNestedScheduling(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 4 {
+				return
+			}
+			delay := time.Duration(rng.Intn(50)) * time.Millisecond
+			target := s.Now() + delay
+			s.After(delay, func() {
+				if s.Now() != target {
+					ok = false
+				}
+				spawn(depth + 1)
+			})
+		}
+		spawn(0)
+		spawn(0)
+		if err := s.Run(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerFiresAtInterval(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	tk := NewTicker(s, 10*time.Millisecond, func() { times = append(times, s.Now()) })
+	s.RunUntil(35 * time.Millisecond)
+	tk.Stop()
+	s.RunUntil(100 * time.Millisecond)
+	if len(times) != 3 {
+		t.Fatalf("ticks = %d, want 3 (got %v)", len(times), times)
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerReset(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	tk := NewTicker(s, 10*time.Millisecond, func() { times = append(times, s.Now()) })
+	s.RunUntil(10 * time.Millisecond)
+	tk.Reset(20 * time.Millisecond)
+	s.RunUntil(50 * time.Millisecond)
+	tk.Stop()
+	// ticks: 10ms, then 30ms, 50ms
+	if len(times) != 3 || times[1] != 30*time.Millisecond {
+		t.Fatalf("ticks after reset = %v", times)
+	}
+}
+
+func TestTickerStopIdempotent(t *testing.T) {
+	s := New(1)
+	tk := NewTicker(s, time.Millisecond, func() {})
+	tk.Stop()
+	tk.Stop()
+	if s.Step() {
+		n := 0
+		for s.Step() {
+			n++
+		}
+		if n > 0 {
+			t.Fatal("stopped ticker kept firing")
+		}
+	}
+}
+
+func TestTickerPanicsOnNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero interval")
+		}
+	}()
+	NewTicker(New(1), 0, func() {})
+}

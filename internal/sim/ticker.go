@@ -1,0 +1,63 @@
+package sim
+
+import "time"
+
+// Ticker repeatedly invokes a function at a fixed virtual-time interval
+// until stopped. Unlike time.Ticker there is no channel: the callback runs
+// inline in the event loop.
+type Ticker struct {
+	sched    *Scheduler
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// NewTicker schedules fn every interval, with the first invocation one
+// interval from now. It panics on a non-positive interval, which would
+// otherwise wedge the event loop at a single instant.
+func NewTicker(sched *Scheduler, interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{sched: sched, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.sched.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Reset changes the tick interval; the next tick fires one new interval from
+// the current instant. Resetting a stopped ticker restarts it.
+func (t *Ticker) Reset(interval time.Duration) {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.interval = interval
+	t.stopped = false
+	t.arm()
+}

@@ -1,0 +1,329 @@
+package simnet
+
+import (
+	"time"
+
+	"stabl/internal/sim"
+)
+
+// ConnParams configures the TCP-like connection layer between blockchain
+// peers. Real blockchain nodes talk over long-lived connections that are
+// torn down when idle and re-established by timer-driven retries; those
+// timers, not packet-level reachability, dominate how fast a system recovers
+// from a network partition (STABL §6). Each blockchain model supplies its
+// own parameters.
+type ConnParams struct {
+	// HeartbeatInterval is the keep-alive ping cadence on established
+	// connections (also the idle-check cadence).
+	HeartbeatInterval time.Duration
+	// IdleTimeout tears a connection down when no traffic has been
+	// received from the peer for this long (Redbelly's MaxIdleTime).
+	IdleTimeout time.Duration
+	// ReconnectBase is the delay before the first reconnection attempt
+	// after a teardown or a failed attempt.
+	ReconnectBase time.Duration
+	// ReconnectCap bounds the exponential backoff.
+	ReconnectCap time.Duration
+	// Multiplier is the backoff growth factor (values below 1 mean no
+	// growth).
+	Multiplier float64
+	// HandshakeTimeout bounds one CONNECT/ACK exchange.
+	HandshakeTimeout time.Duration
+}
+
+func (p ConnParams) normalized() ConnParams {
+	if p.HeartbeatInterval <= 0 {
+		p.HeartbeatInterval = time.Second
+	}
+	if p.IdleTimeout <= 0 {
+		p.IdleTimeout = 10 * time.Second
+	}
+	if p.ReconnectBase <= 0 {
+		p.ReconnectBase = 2 * time.Second
+	}
+	if p.ReconnectCap < p.ReconnectBase {
+		p.ReconnectCap = p.ReconnectBase
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 1
+	}
+	if p.HandshakeTimeout <= 0 {
+		p.HandshakeTimeout = 2 * time.Second
+	}
+	return p
+}
+
+// Control payloads exchanged by the connection layer. They travel over the
+// same simulated links as application traffic (subject to partitions and
+// node liveness) but bypass the "connection established" gate, exactly like
+// TCP SYN/keep-alive segments.
+type (
+	connPing struct{}
+	connReq  struct{ epoch uint64 }
+	connAck  struct{ epoch uint64 }
+)
+
+type pairKey struct{ a, b NodeID }
+
+func makePair(x, y NodeID) pairKey {
+	if x < y {
+		return pairKey{x, y}
+	}
+	return pairKey{y, x}
+}
+
+type pairState struct {
+	key         pairKey
+	established bool
+	lastRecvA   time.Duration // last time key.a received traffic from key.b
+	lastRecvB   time.Duration
+	attempt     int
+	epoch       uint64
+	retryTimer  *sim.Timer
+	ackTimer    *sim.Timer
+}
+
+type connManager struct {
+	net     *Network
+	params  ConnParams
+	peers   map[NodeID]bool
+	pairs   map[pairKey]*pairState
+	ticker  *sim.Ticker
+	downs   uint64 // teardown count, for tests
+	reconns uint64 // successful re-establishments, for tests
+}
+
+// ManageConns activates the connection layer between the given peers.
+// All pairs start established. Endpoints outside the peer set (clients,
+// observers) are unaffected. Must be called once, before StartAll.
+func (n *Network) ManageConns(peers []NodeID, params ConnParams) {
+	if n.conns != nil {
+		panic("simnet: ManageConns called twice")
+	}
+	cm := &connManager{
+		net:    n,
+		params: params.normalized(),
+		peers:  toSet(peers),
+		pairs:  make(map[pairKey]*pairState),
+	}
+	now := n.sched.Now()
+	for i, a := range peers {
+		for _, b := range peers[i+1:] {
+			k := makePair(a, b)
+			cm.pairs[k] = &pairState{key: k, established: true, lastRecvA: now, lastRecvB: now}
+		}
+	}
+	cm.ticker = sim.NewTicker(n.sched, cm.params.HeartbeatInterval, cm.tick)
+	n.conns = cm
+}
+
+// ConnEstablished reports whether the connection between two managed peers
+// is currently up; it returns true for unmanaged pairs.
+func (n *Network) ConnEstablished(a, b NodeID) bool {
+	if n.conns == nil {
+		return true
+	}
+	return n.conns.allows(a, b)
+}
+
+// ConnStats returns (teardowns, re-establishments) observed so far.
+func (n *Network) ConnStats() (uint64, uint64) {
+	if n.conns == nil {
+		return 0, 0
+	}
+	return n.conns.downs, n.conns.reconns
+}
+
+func (cm *connManager) allows(from, to NodeID) bool {
+	if !cm.peers[from] || !cm.peers[to] {
+		return true
+	}
+	st := cm.pairs[makePair(from, to)]
+	return st != nil && st.established
+}
+
+func (cm *connManager) observeTraffic(from, to NodeID) {
+	if !cm.peers[from] || !cm.peers[to] {
+		return
+	}
+	st := cm.pairs[makePair(from, to)]
+	if st == nil {
+		return
+	}
+	now := cm.net.sched.Now()
+	if to == st.key.a {
+		st.lastRecvA = now
+	} else {
+		st.lastRecvB = now
+	}
+}
+
+// tick sends keep-alives and performs idle detection.
+func (cm *connManager) tick() {
+	now := cm.net.sched.Now()
+	for _, st := range cm.pairs {
+		if !st.established {
+			continue
+		}
+		aUp := cm.net.IsUp(st.key.a)
+		bUp := cm.net.IsUp(st.key.b)
+		// Keep-alive pings from each live side.
+		if aUp {
+			cm.sendControl(st.key.a, st.key.b, connPing{})
+		}
+		if bUp {
+			cm.sendControl(st.key.b, st.key.a, connPing{})
+		}
+		// Idle detection: only a live side can notice the silence.
+		idleA := aUp && now-st.lastRecvA > cm.params.IdleTimeout
+		idleB := bUp && now-st.lastRecvB > cm.params.IdleTimeout
+		if idleA || idleB {
+			cm.teardown(st)
+		}
+	}
+}
+
+func (cm *connManager) teardown(st *pairState) {
+	if !st.established {
+		return
+	}
+	st.established = false
+	st.attempt = 0
+	st.epoch++
+	cm.downs++
+	cm.net.trace(TraceEvent{Kind: TraceConnDown, Node: st.key.a, Peer: st.key.b, Detail: "idle timeout"})
+	cm.scheduleRetry(st, cm.params.ReconnectBase)
+}
+
+func (cm *connManager) scheduleRetry(st *pairState, delay time.Duration) {
+	if st.retryTimer != nil {
+		st.retryTimer.Stop()
+	}
+	epoch := st.epoch
+	st.retryTimer = cm.net.sched.After(delay, func() {
+		if st.established || st.epoch != epoch {
+			return
+		}
+		cm.attemptConnect(st)
+	})
+}
+
+func (cm *connManager) attemptConnect(st *pairState) {
+	st.attempt++
+	// The lower-id live endpoint initiates; if neither is up the attempt
+	// is a no-op and the retry timer keeps running.
+	initiator, acceptor := st.key.a, st.key.b
+	if !cm.net.IsUp(initiator) {
+		initiator, acceptor = st.key.b, st.key.a
+	}
+	if cm.net.IsUp(initiator) {
+		cm.sendControl(initiator, acceptor, connReq{epoch: st.epoch})
+	}
+	epoch := st.epoch
+	if st.ackTimer != nil {
+		st.ackTimer.Stop()
+	}
+	st.ackTimer = cm.net.sched.After(cm.params.HandshakeTimeout, func() {
+		if st.established || st.epoch != epoch {
+			return
+		}
+		cm.scheduleRetry(st, cm.backoff(st.attempt))
+	})
+}
+
+func (cm *connManager) backoff(attempt int) time.Duration {
+	d := cm.params.ReconnectBase
+	for i := 1; i < attempt; i++ {
+		d = time.Duration(float64(d) * cm.params.Multiplier)
+		if d >= cm.params.ReconnectCap {
+			return cm.params.ReconnectCap
+		}
+	}
+	if d > cm.params.ReconnectCap {
+		d = cm.params.ReconnectCap
+	}
+	return d
+}
+
+// handleControl processes a delivered connection-layer payload. It reports
+// whether the payload was a control message (and therefore must not reach
+// the application handler).
+func (cm *connManager) handleControl(from, to NodeID, payload any) bool {
+	switch msg := payload.(type) {
+	case connPing:
+		return true
+	case connReq:
+		st := cm.pairs[makePair(from, to)]
+		if st != nil && !st.established && msg.epoch == st.epoch {
+			cm.sendControl(to, from, connAck{epoch: msg.epoch})
+		}
+		return true
+	case connAck:
+		st := cm.pairs[makePair(from, to)]
+		if st != nil && !st.established && msg.epoch == st.epoch {
+			cm.establish(st)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (cm *connManager) establish(st *pairState) {
+	st.established = true
+	st.attempt = 0
+	st.epoch++
+	cm.reconns++
+	cm.net.trace(TraceEvent{Kind: TraceConnUp, Node: st.key.a, Peer: st.key.b, Detail: "handshake"})
+	now := cm.net.sched.Now()
+	st.lastRecvA = now
+	st.lastRecvB = now
+	if st.retryTimer != nil {
+		st.retryTimer.Stop()
+	}
+	if st.ackTimer != nil {
+		st.ackTimer.Stop()
+	}
+}
+
+// nodeRestarted implements active recovery: a freshly restarted node tears
+// down whatever connections it nominally had (the old sockets died with the
+// process) and immediately dials every peer.
+func (cm *connManager) nodeRestarted(id NodeID) {
+	if !cm.peers[id] {
+		return
+	}
+	for _, st := range cm.pairs {
+		if st.key.a != id && st.key.b != id {
+			continue
+		}
+		if st.established {
+			st.established = false
+			st.epoch++
+			cm.downs++
+			cm.net.trace(TraceEvent{Kind: TraceConnDown, Node: st.key.a, Peer: st.key.b, Detail: "peer restarted"})
+		}
+		st.attempt = 0
+		cm.scheduleRetry(st, 0)
+	}
+}
+
+// sendControl bypasses the established-connection gate (control traffic is
+// how connections come up) but still honours partitions and liveness.
+func (cm *connManager) sendControl(from, to NodeID, payload any) {
+	n := cm.net
+	src := n.mustNode(from)
+	dst := n.mustNode(to)
+	if !src.up || n.Blocked(from, to) || !dst.up {
+		return
+	}
+	inc := dst.incarnation
+	delay := n.latency.Sample(from, to, n.rng) + n.extraDelay[from] + n.extraDelay[to]
+	n.sched.After(delay, func() {
+		if !dst.up || dst.incarnation != inc {
+			return
+		}
+		cm.observeTraffic(from, to)
+		cm.handleControl(from, to, payload)
+	})
+}

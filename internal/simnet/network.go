@@ -1,0 +1,383 @@
+// Package simnet provides the simulated network substrate STABL experiments
+// run on: named endpoints exchanging opaque payloads over links with
+// configurable latency, send-time partition rules, node crash/restart with
+// incarnation fencing, and an optional TCP-like connection layer whose
+// heartbeat/reconnect timers reproduce the partition-recovery behaviour of
+// real blockchain deployments.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stabl/internal/sim"
+)
+
+// NodeID identifies an endpoint on the network. Blockchain validators,
+// clients, observers and the experiment primary are all endpoints.
+type NodeID int
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string { return fmt.Sprintf("n%d", int(id)) }
+
+// Handler is the application logic attached to an endpoint.
+//
+// Start is invoked once when the network boots and again after every
+// Restart; implementations must re-arm their volatile state (timers, vote
+// tables) there while keeping persistent state (the ledger) across restarts.
+// Stop is invoked when the node is halted.
+type Handler interface {
+	Start(ctx *Context)
+	Deliver(from NodeID, payload any)
+	Stop()
+}
+
+// LatencyModel samples a one-way message delay for a (from, to) pair.
+type LatencyModel interface {
+	Sample(from, to NodeID, rng *rand.Rand) time.Duration
+}
+
+// UniformLatency samples uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+var _ LatencyModel = UniformLatency{}
+
+// Sample implements LatencyModel.
+func (u UniformLatency) Sample(_, _ NodeID, rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// FixedLatency returns the same delay for every message; useful in tests.
+type FixedLatency time.Duration
+
+var _ LatencyModel = FixedLatency(0)
+
+// Sample implements LatencyModel.
+func (f FixedLatency) Sample(_, _ NodeID, _ *rand.Rand) time.Duration {
+	return time.Duration(f)
+}
+
+// Stats counts network-level activity; useful for tests and ablations.
+type Stats struct {
+	Sent              uint64
+	Delivered         uint64
+	DroppedPartition  uint64
+	DroppedConnDown   uint64
+	DroppedNodeDown   uint64
+	DroppedInFlight   uint64
+	DroppedSenderDown uint64
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency models one-way delays; defaults to a 5-25 ms uniform link.
+	Latency LatencyModel
+}
+
+// Network connects endpoints over the simulation scheduler.
+type Network struct {
+	sched   *sim.Scheduler
+	latency LatencyModel
+	rng     *rand.Rand
+	nodes   map[NodeID]*endpoint
+	rules   map[int]partitionRule
+	ruleSeq int
+	conns   *connManager
+	stats   Stats
+	tracer  Tracer
+	// extraDelay models netem-style per-interface latency injection:
+	// every message entering or leaving the node is delayed.
+	extraDelay map[NodeID]time.Duration
+}
+
+type endpoint struct {
+	id          NodeID
+	handler     Handler
+	up          bool
+	incarnation uint64
+	ctx         *Context
+}
+
+type partitionRule struct {
+	a, b map[NodeID]bool
+}
+
+// New creates a network on the given scheduler.
+func New(sched *sim.Scheduler, cfg Config) *Network {
+	lat := cfg.Latency
+	if lat == nil {
+		lat = UniformLatency{Min: 5 * time.Millisecond, Max: 25 * time.Millisecond}
+	}
+	return &Network{
+		sched:      sched,
+		latency:    lat,
+		rng:        sched.RNG("simnet.latency"),
+		nodes:      make(map[NodeID]*endpoint),
+		rules:      make(map[int]partitionRule),
+		extraDelay: make(map[NodeID]time.Duration),
+	}
+}
+
+// Scheduler returns the underlying scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddNode registers a handler under id. Nodes start in the down state until
+// StartAll or StartNode is called. Adding a duplicate id is a programming
+// error and panics.
+func (n *Network) AddNode(id NodeID, h Handler) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %v", id))
+	}
+	ep := &endpoint{id: id, handler: h}
+	ep.ctx = &Context{net: n, ep: ep}
+	n.nodes[id] = ep
+}
+
+// Node reports whether id is registered.
+func (n *Network) Node(id NodeID) bool {
+	_, ok := n.nodes[id]
+	return ok
+}
+
+// StartAll boots every registered node that is not already up.
+func (n *Network) StartAll() {
+	ids := n.sortedIDs()
+	for _, id := range ids {
+		if !n.nodes[id].up {
+			n.StartNode(id)
+		}
+	}
+}
+
+// StartNode boots a single node, invoking its handler's Start.
+func (n *Network) StartNode(id NodeID) {
+	ep := n.mustNode(id)
+	if ep.up {
+		return
+	}
+	restart := ep.incarnation > 0
+	ep.up = true
+	ep.incarnation++
+	detail := "boot"
+	if restart {
+		detail = "reboot"
+	}
+	n.trace(TraceEvent{Kind: TraceNodeStart, Node: id, Peer: id, Detail: detail})
+	if restart && n.conns != nil {
+		n.conns.nodeRestarted(id)
+	}
+	ep.handler.Start(ep.ctx)
+}
+
+// Halt crashes a node: its handler is stopped, its pending timers are fenced
+// off, and in-flight messages addressed to it are dropped on arrival.
+func (n *Network) Halt(id NodeID) {
+	ep := n.mustNode(id)
+	if !ep.up {
+		return
+	}
+	ep.up = false
+	ep.incarnation++
+	n.trace(TraceEvent{Kind: TraceNodeHalt, Node: id, Peer: id})
+	ep.handler.Stop()
+}
+
+// Restart boots a previously halted node with the same identity. The
+// handler's persistent state survives; Start is called again.
+func (n *Network) Restart(id NodeID) { n.StartNode(id) }
+
+// IsUp reports whether the node is currently running.
+func (n *Network) IsUp(id NodeID) bool { return n.mustNode(id).up }
+
+// Partition installs a bidirectional drop rule between groups a and b,
+// returning a rule id for Heal. Rules are evaluated at send time, matching
+// STABL's netfilter-based injection: messages sent while the rule is active
+// are lost even if the rule is healed before they would have arrived.
+func (n *Network) Partition(a, b []NodeID) int {
+	rule := partitionRule{a: toSet(a), b: toSet(b)}
+	n.ruleSeq++
+	n.rules[n.ruleSeq] = rule
+	if len(a) > 0 {
+		n.trace(TraceEvent{Kind: TracePartition, Node: a[0], Peer: a[0],
+			Detail: fmt.Sprintf("rule %d: %d vs %d nodes", n.ruleSeq, len(a), len(b))})
+	}
+	return n.ruleSeq
+}
+
+// Heal removes a partition rule installed by Partition.
+func (n *Network) Heal(rule int) {
+	if _, ok := n.rules[rule]; ok {
+		n.trace(TraceEvent{Kind: TraceHeal, Detail: fmt.Sprintf("rule %d", rule)})
+	}
+	delete(n.rules, rule)
+}
+
+// SetExtraDelay injects (or clears, with 0) additional latency on every
+// message to or from a node, modelling tc-netem delay rules on the node's
+// interface.
+func (n *Network) SetExtraDelay(id NodeID, d time.Duration) {
+	n.mustNode(id)
+	n.trace(TraceEvent{Kind: TraceDelay, Node: id, Peer: id, Detail: d.String()})
+	if d <= 0 {
+		delete(n.extraDelay, id)
+		return
+	}
+	n.extraDelay[id] = d
+}
+
+// ExtraDelay returns the injected latency on a node's interface.
+func (n *Network) ExtraDelay(id NodeID) time.Duration { return n.extraDelay[id] }
+
+// Blocked reports whether a (from, to) pair is currently separated by a
+// partition rule.
+func (n *Network) Blocked(from, to NodeID) bool {
+	for _, r := range n.rules {
+		if (r.a[from] && r.b[to]) || (r.b[from] && r.a[to]) {
+			return true
+		}
+	}
+	return false
+}
+
+// send is the single message path; all drops are accounted in stats.
+func (n *Network) send(from, to NodeID, payload any) {
+	src := n.mustNode(from)
+	dst := n.mustNode(to)
+	n.stats.Sent++
+	if !src.up {
+		n.stats.DroppedSenderDown++
+		return
+	}
+	if n.Blocked(from, to) {
+		n.stats.DroppedPartition++
+		return
+	}
+	if n.conns != nil && !n.conns.allows(from, to) {
+		n.stats.DroppedConnDown++
+		return
+	}
+	if !dst.up {
+		n.stats.DroppedNodeDown++
+		return
+	}
+	inc := dst.incarnation
+	delay := n.latency.Sample(from, to, n.rng) + n.extraDelay[from] + n.extraDelay[to]
+	n.sched.After(delay, func() {
+		if !dst.up || dst.incarnation != inc {
+			n.stats.DroppedInFlight++
+			return
+		}
+		n.stats.Delivered++
+		if n.conns != nil {
+			n.conns.observeTraffic(from, to)
+		}
+		dst.handler.Deliver(from, payload)
+	})
+}
+
+func (n *Network) mustNode(id NodeID) *endpoint {
+	ep, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown node %v", id))
+	}
+	return ep
+}
+
+func (n *Network) sortedIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func toSet(ids []NodeID) map[NodeID]bool {
+	s := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Context is the capability surface handed to a node's handler. All methods
+// are only valid while the node is up; timers armed through the context are
+// automatically fenced when the node crashes.
+type Context struct {
+	net *Network
+	ep  *endpoint
+}
+
+// ID returns the node's identity.
+func (c *Context) ID() NodeID { return c.ep.id }
+
+// Now returns the current virtual time.
+func (c *Context) Now() time.Duration { return c.net.sched.Now() }
+
+// Send transmits payload to the named peer, subject to partitions,
+// connection state and peer liveness.
+func (c *Context) Send(to NodeID, payload any) {
+	if !c.ep.up {
+		return
+	}
+	c.net.send(c.ep.id, to, payload)
+}
+
+// Broadcast sends payload to every id in peers except the sender itself.
+func (c *Context) Broadcast(peers []NodeID, payload any) {
+	for _, id := range peers {
+		if id == c.ep.id {
+			continue
+		}
+		c.Send(id, payload)
+	}
+}
+
+// After schedules fn on the node's behalf. The callback is suppressed if the
+// node crashes (or restarts) before it fires.
+func (c *Context) After(d time.Duration, fn func()) *sim.Timer {
+	inc := c.ep.incarnation
+	return c.net.sched.After(d, func() {
+		if c.ep.up && c.ep.incarnation == inc {
+			fn()
+		}
+	})
+}
+
+// Every schedules fn at a fixed interval until the returned ticker is
+// stopped or the node crashes.
+func (c *Context) Every(interval time.Duration, fn func()) *sim.Ticker {
+	inc := c.ep.incarnation
+	return sim.NewTicker(c.net.sched, interval, func() {
+		if c.ep.up && c.ep.incarnation == inc {
+			fn()
+		}
+	})
+}
+
+// RNG derives a deterministic random stream namespaced to this node.
+func (c *Context) RNG(name string) *rand.Rand {
+	return c.net.sched.RNG(fmt.Sprintf("node/%d/%s", int(c.ep.id), name))
+}
+
+// Connected reports whether the connection layer currently allows traffic
+// from this node to peer (always true when connections are unmanaged).
+func (c *Context) Connected(peer NodeID) bool {
+	if c.net.conns == nil {
+		return true
+	}
+	return c.net.conns.allows(c.ep.id, peer)
+}

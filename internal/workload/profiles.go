@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// Profile shapes a client's send rate over time: it returns a non-negative
+// multiplier applied to the base rate at virtual time t. The paper's
+// evaluation uses a constant rate and names fluctuating workloads and
+// request bursts as future work; these profiles implement that extension.
+type Profile func(t time.Duration) float64
+
+// Constant returns the always-1 profile (the paper's workload).
+func Constant() Profile {
+	return func(time.Duration) float64 { return 1 }
+}
+
+// Burst alternates between the base rate and rate*factor: every period, the
+// first burstLen is spent bursting.
+func Burst(period, burstLen time.Duration, factor float64) Profile {
+	if period <= 0 {
+		period = time.Minute
+	}
+	if burstLen <= 0 || burstLen > period {
+		burstLen = period / 4
+	}
+	return func(t time.Duration) float64 {
+		if t%period < burstLen {
+			return factor
+		}
+		return 1
+	}
+}
+
+// Ramp grows the multiplier linearly from start to end over duration and
+// holds it there.
+func Ramp(start, end float64, duration time.Duration) Profile {
+	if duration <= 0 {
+		return func(time.Duration) float64 { return end }
+	}
+	return func(t time.Duration) float64 {
+		if t >= duration {
+			return end
+		}
+		frac := float64(t) / float64(duration)
+		return start + (end-start)*frac
+	}
+}
+
+// Sine oscillates the multiplier around 1 with the given amplitude and
+// period, clipped at zero — a smooth "diurnal" load pattern.
+func Sine(amplitude float64, period time.Duration) Profile {
+	if period <= 0 {
+		period = time.Minute
+	}
+	return func(t time.Duration) float64 {
+		v := 1 + amplitude*math.Sin(2*math.Pi*float64(t)/float64(period))
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConstantProfile(t *testing.T) {
+	p := Constant()
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if p(at) != 1 {
+			t.Fatalf("Constant(%v) = %v", at, p(at))
+		}
+	}
+}
+
+func TestBurstProfile(t *testing.T) {
+	p := Burst(time.Minute, 10*time.Second, 3)
+	if p(5*time.Second) != 3 {
+		t.Fatalf("in burst = %v", p(5*time.Second))
+	}
+	if p(30*time.Second) != 1 {
+		t.Fatalf("between bursts = %v", p(30*time.Second))
+	}
+	if p(65*time.Second) != 3 {
+		t.Fatalf("second period burst = %v", p(65*time.Second))
+	}
+}
+
+func TestBurstProfileDefaults(t *testing.T) {
+	p := Burst(0, 0, 2)
+	if p(0) != 2 {
+		t.Fatal("defaulted burst profile broken")
+	}
+}
+
+func TestRampProfile(t *testing.T) {
+	p := Ramp(1, 3, 10*time.Second)
+	if p(0) != 1 {
+		t.Fatalf("ramp start = %v", p(0))
+	}
+	if got := p(5 * time.Second); got != 2 {
+		t.Fatalf("ramp midpoint = %v", got)
+	}
+	if p(20*time.Second) != 3 {
+		t.Fatalf("ramp end = %v", p(20*time.Second))
+	}
+	if Ramp(1, 5, 0)(0) != 5 {
+		t.Fatal("zero-duration ramp should hold the end value")
+	}
+}
+
+func TestSineProfileBoundsAndClipping(t *testing.T) {
+	p := Sine(2, time.Minute) // amplitude beyond 1: must clip at zero
+	min, max := 10.0, -10.0
+	for s := 0; s < 120; s++ {
+		v := p(time.Duration(s) * time.Second)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min < 0 {
+		t.Fatalf("sine profile went negative: %v", min)
+	}
+	if max <= 1 {
+		t.Fatalf("sine profile never exceeded baseline: %v", max)
+	}
+}

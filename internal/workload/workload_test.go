@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stabl/internal/chain"
+)
+
+func testGen() *Generator {
+	sets := Accounts(2, 4)
+	return NewGenerator(1, sets[1], AllAccounts(sets), rand.New(rand.NewSource(1)))
+}
+
+func TestGeneratorUniqueIDs(t *testing.T) {
+	g := testGen()
+	seen := make(map[chain.TxID]bool)
+	for i := 0; i < 1000; i++ {
+		tx := g.Next(time.Duration(i))
+		if seen[tx.ID] {
+			t.Fatalf("duplicate ID %v", tx.ID)
+		}
+		seen[tx.ID] = true
+		if tx.ID.Client() != 1 {
+			t.Fatalf("client = %d", tx.ID.Client())
+		}
+	}
+	if g.Issued() != 1000 {
+		t.Fatalf("Issued = %d", g.Issued())
+	}
+}
+
+func TestGeneratorNoncesStrictlyIncreasePerAccount(t *testing.T) {
+	g := testGen()
+	last := make(map[chain.Address]int64)
+	for i := 0; i < 400; i++ {
+		tx := g.Next(0)
+		prev, seen := last[tx.From]
+		if seen && int64(tx.Nonce) != prev+1 {
+			t.Fatalf("nonce gap for %d: %d after %d", tx.From, tx.Nonce, prev)
+		}
+		if !seen && tx.Nonce != 0 {
+			t.Fatalf("first nonce = %d", tx.Nonce)
+		}
+		last[tx.From] = int64(tx.Nonce)
+	}
+}
+
+func TestGeneratorNeverSelfTransfer(t *testing.T) {
+	g := testGen()
+	for i := 0; i < 500; i++ {
+		tx := g.Next(0)
+		if tx.From == tx.To {
+			t.Fatal("self transfer generated")
+		}
+	}
+}
+
+func TestGeneratorStampsSubmissionTime(t *testing.T) {
+	g := testGen()
+	tx := g.Next(42 * time.Second)
+	if tx.Submitted != 42*time.Second {
+		t.Fatalf("Submitted = %v", tx.Submitted)
+	}
+}
+
+func TestAccountsPartition(t *testing.T) {
+	sets := Accounts(3, 2)
+	if len(sets) != 3 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	all := AllAccounts(sets)
+	if len(all) != 6 {
+		t.Fatalf("all = %d", len(all))
+	}
+	seen := make(map[chain.Address]bool)
+	for _, a := range all {
+		if seen[a] {
+			t.Fatalf("overlapping account %d", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestGeneratorPanicsWithoutAccounts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGenerator(0, nil, nil, rand.New(rand.NewSource(1)))
+}
+
+// Property: two generators with the same seed produce identical streams.
+func TestPropertyGeneratorDeterminism(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		sets := Accounts(1, 3)
+		g1 := NewGenerator(0, sets[0], sets[0], rand.New(rand.NewSource(seed)))
+		g2 := NewGenerator(0, sets[0], sets[0], rand.New(rand.NewSource(seed)))
+		for i := 0; i < int(n); i++ {
+			if g1.Next(0) != g2.Next(0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package stabl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScaleLargerNetwork addresses the paper's future work: "measure the
+// sensitivity of blockchains in larger networks, especially for
+// probabilistic consensus protocols that rely on the law of large numbers."
+// Every chain model must stay live and commit the workload on a 20-validator
+// deployment with 10 clients.
+func TestScaleLargerNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys.Name(), func(t *testing.T) {
+			res, err := Run(Config{
+				System:        sys,
+				Seed:          42,
+				Validators:    20,
+				Clients:       10,
+				RatePerClient: 20, // 200 TPS total, as in the paper
+				Duration:      120 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LivenessLost {
+				t.Fatalf("baseline lost liveness at n=20; last commit %v", res.LastCommitAt)
+			}
+			if res.UniqueCommits < res.Submitted*80/100 {
+				t.Fatalf("commits = %d of %d at n=20", res.UniqueCommits, res.Submitted)
+			}
+		})
+	}
+}
+
+// TestScaleCrashToleranceGrowsWithN: at n = 20 the tolerated crash counts
+// double (t = 3 for the n/5 chains, 6 for the n/3 chains) and an f = t crash
+// still leaves every chain live.
+func TestScaleCrashToleranceGrowsWithN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale crash test skipped in -short mode")
+	}
+	for _, sys := range []System{NewRedbelly(), NewAvalanche()} {
+		sys := sys
+		t.Run(sys.Name(), func(t *testing.T) {
+			if n20, n10 := sys.Tolerance(20), sys.Tolerance(10); n20 <= n10 {
+				t.Fatalf("tolerance did not grow: t(20)=%d t(10)=%d", n20, n10)
+			}
+			res, err := Run(Config{
+				System:        sys,
+				Seed:          42,
+				Validators:    20,
+				Clients:       10,
+				RatePerClient: 20,
+				Duration:      180 * time.Second,
+				Fault:         FaultPlan{Kind: FaultCrash, InjectAt: 60 * time.Second},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LivenessLost {
+				t.Fatalf("f=t crash killed %s at n=20; last commit %v", sys.Name(), res.LastCommitAt)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// Package stabl is a Go reproduction of STABL (Sensitivity Testing and
+// Analysis for BLockchains, Middleware '25): a benchmark suite that measures
+// how sensitive blockchain systems are to failures.
+//
+// The package deploys simulated-but-faithful models of five Byzantine
+// fault-tolerant blockchains — Algorand, Aptos, Avalanche, Redbelly and
+// Solana — on a deterministic discrete-event network, drives a constant
+// DIABLO-style workload against them, injects crashes, transient failures
+// and partitions through observer processes, and scores each system by the
+// sensitivity metric of the paper: the difference between the areas under
+// the latency eCDFs of a baseline and an altered run. A system that stops
+// committing transactions after a failure receives an infinite score.
+//
+// Quick start:
+//
+//	cmp, err := stabl.Compare(stabl.Config{
+//		System: stabl.NewRedbelly(),
+//		Fault:  stabl.FaultPlan{Kind: stabl.FaultTransient},
+//	})
+//	// cmp.Score, cmp.RecoveryTime, cmp.Altered.Throughput ...
+//
+// Every experiment runs in virtual time: the paper's 400-second deployments
+// complete in a few wall-clock seconds and are reproducible bit-for-bit
+// from their seed.
+package stabl
+
+import (
+	"fmt"
+	"io"
+
+	"stabl/internal/algorand"
+	"stabl/internal/aptos"
+	"stabl/internal/avalanche"
+	"stabl/internal/chain"
+	"stabl/internal/core"
+	"stabl/internal/redbelly"
+	"stabl/internal/solana"
+	"stabl/internal/stats"
+	"stabl/internal/workload"
+)
+
+// Re-exported harness types. See the internal/core package for field
+// documentation.
+type (
+	// Config describes one experiment deployment.
+	Config = core.Config
+	// FaultPlan describes the injected adversarial environment.
+	FaultPlan = core.FaultPlan
+	// FaultKind selects the adversarial environment.
+	FaultKind = core.FaultKind
+	// RunResult is the measurement of a single run.
+	RunResult = core.RunResult
+	// Comparison is a baseline-vs-altered sensitivity measurement.
+	Comparison = core.Comparison
+	// System is one blockchain model.
+	System = chain.System
+	// Score is a sensitivity score (possibly infinite).
+	Score = stats.Score
+	// TimeSeries is a per-second throughput series.
+	TimeSeries = stats.TimeSeries
+	// Point is one point of an eCDF curve.
+	Point = stats.Point
+	// Profile shapes a client's send rate over time.
+	Profile = workload.Profile
+)
+
+// Workload rate profiles (the paper's future-work fluctuating workloads).
+var (
+	// ConstantProfile is the paper's constant-rate workload.
+	ConstantProfile = workload.Constant
+	// BurstProfile alternates base rate and rate*factor bursts.
+	BurstProfile = workload.Burst
+	// RampProfile grows the rate linearly.
+	RampProfile = workload.Ramp
+	// SineProfile oscillates the rate smoothly.
+	SineProfile = workload.Sine
+)
+
+// Fault kinds (paper §4-§7).
+const (
+	FaultNone         = core.FaultNone
+	FaultCrash        = core.FaultCrash
+	FaultTransient    = core.FaultTransient
+	FaultPartition    = core.FaultPartition
+	FaultSecureClient = core.FaultSecureClient
+	FaultSlow         = core.FaultSlow
+)
+
+// Suite types for CI-style multi-seed sweeps.
+type (
+	// SuiteConfig describes a multi-seed sensitivity sweep.
+	SuiteConfig = core.SuiteConfig
+	// SuiteResult aggregates a sweep.
+	SuiteResult = core.SuiteResult
+	// Cell is one (system, fault) aggregation of a sweep.
+	Cell = core.Cell
+	// Report is the JSON digest of one comparison.
+	Report = core.Report
+)
+
+// Run executes a single experiment run.
+func Run(cfg Config) (*RunResult, error) { return core.Run(cfg) }
+
+// RunSuite executes a multi-seed sensitivity sweep.
+func RunSuite(cfg SuiteConfig) (*SuiteResult, error) { return core.RunSuite(cfg) }
+
+// NewReport digests a comparison for machine consumption.
+func NewReport(cmp *Comparison) Report { return core.NewReport(cmp) }
+
+// Spec is the JSON experiment description (see internal/core.Spec).
+type Spec = core.Spec
+
+// LoadExperiment reads a JSON experiment spec and materializes it against
+// the built-in system registry.
+func LoadExperiment(r io.Reader) (Config, error) {
+	spec, err := core.ParseSpec(r)
+	if err != nil {
+		return Config{}, err
+	}
+	return spec.Config(SystemByName)
+}
+
+// Compare runs the baseline and altered environments and computes the
+// sensitivity score.
+func Compare(cfg Config) (*Comparison, error) { return core.Compare(cfg) }
+
+// Sensitivity computes the paper's sensitivity score between two latency
+// sample sets (seconds), on the harness's default grid.
+func Sensitivity(baseline, altered []float64) Score {
+	return stats.Sensitivity(baseline, altered, core.SensitivityGridStep)
+}
+
+// Constructors for the five evaluated blockchains, with the
+// production-like default parameters used by the experiments.
+func NewAlgorand() System  { return algorand.Default() }
+func NewAptos() System     { return aptos.Default() }
+func NewAvalanche() System { return avalanche.Default() }
+func NewRedbelly() System  { return redbelly.Default() }
+func NewSolana() System    { return solana.Default() }
+
+// Systems returns fresh instances of all five evaluated blockchains, in the
+// paper's order.
+func Systems() []System {
+	return []System{NewAlgorand(), NewAptos(), NewAvalanche(), NewRedbelly(), NewSolana()}
+}
+
+// SystemByName returns a fresh instance of the named blockchain
+// (case-sensitive, as printed by System.Name).
+func SystemByName(name string) (System, error) {
+	for _, sys := range Systems() {
+		if sys.Name() == name {
+			return sys, nil
+		}
+	}
+	return nil, fmt.Errorf("stabl: unknown system %q (have Algorand, Aptos, Avalanche, Redbelly, Solana)", name)
+}

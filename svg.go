@@ -1,0 +1,82 @@
+package stabl
+
+import (
+	"time"
+
+	"stabl/internal/plot"
+)
+
+// SVG rendering of the paper's figures. Each function returns a standalone
+// SVG document string; cmd/stabl writes them to files with -svg.
+
+// SVG renders Fig 1's two eCDF curves.
+func (fig *ECDFFigure) SVG() string {
+	toPlot := func(points []Point) []plot.Point {
+		out := make([]plot.Point, len(points))
+		for i, p := range points {
+			out[i] = plot.Point{X: p.X, Y: p.Y}
+		}
+		return out
+	}
+	return plot.Chart{
+		Title:  fig.System + " latency eCDFs (sensitivity " + fig.Score.String() + ")",
+		XLabel: "latency (s)",
+		YLabel: "F(x)",
+		Series: []plot.Series{
+			{Name: "baseline", Points: toPlot(fig.Baseline)},
+			{Name: "altered", Points: toPlot(fig.Altered), Dashed: true},
+		},
+	}.SVG()
+}
+
+// Fig3SVG renders one Fig 3 panel as a bar chart: one bar per system,
+// striped for benefits, full-height red for infinite scores.
+func Fig3SVG(title string, cmps []*Comparison) string {
+	bars := make([]plot.Bar, 0, len(cmps))
+	for _, cmp := range cmps {
+		bars = append(bars, plot.Bar{
+			Label:    cmp.System,
+			Value:    cmp.Score.Value,
+			Infinite: cmp.Score.Infinite,
+			Striped:  cmp.Score.Benefit,
+		})
+	}
+	return plot.BarChart{Title: title, YLabel: "sensitivity", Bars: bars}.SVG()
+}
+
+// ThroughputSVG renders one system's baseline and altered throughput series
+// with fault markers, one panel of Figs 4-6.
+func ThroughputSVG(cmp *Comparison, bucket time.Duration) string {
+	if bucket <= 0 {
+		bucket = 5 * time.Second
+	}
+	series := func(ts TimeSeries, name string, dashed bool) plot.Series {
+		total := time.Duration(len(ts.Counts)) * ts.Bucket
+		var pts []plot.Point
+		for t := time.Duration(0); t < total; t += bucket {
+			pts = append(pts, plot.Point{
+				X: t.Seconds(),
+				Y: ts.MeanRate(t, t+bucket),
+			})
+		}
+		return plot.Series{Name: name, Points: pts, Dashed: dashed}
+	}
+	chart := plot.Chart{
+		Title:  cmp.System + " throughput (" + cmp.Fault.Kind.String() + ")",
+		XLabel: "time (s)",
+		YLabel: "tx/s",
+		Series: []plot.Series{
+			series(cmp.Baseline.Throughput, "baseline", false),
+			series(cmp.Altered.Throughput, "altered", true),
+		},
+	}
+	if cmp.Fault.Kind != FaultNone && cmp.Fault.Kind != FaultSecureClient {
+		chart.VLines = append(chart.VLines, plot.VLine{X: cmp.Fault.InjectAt.Seconds(), Label: "inject"})
+		if cmp.Fault.Kind != FaultCrash {
+			chart.VLines = append(chart.VLines, plot.VLine{
+				X: cmp.Fault.RecoverAt.Seconds(), Label: "recover", Color: "#2ca02c",
+			})
+		}
+	}
+	return chart.SVG()
+}

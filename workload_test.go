@@ -1,0 +1,75 @@
+package stabl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBurstWorkloadLiveness exercises the paper's stated workload
+// limitation: the evaluation uses a constant 200 TPS because "some
+// blockchains would lose transactions if the sending rate is too high",
+// and "Avalanche capacity is limited to about 357 TPS" (§3). Under 2x
+// bursts (400 TPS for 10 s out of every 60 s) the four chains with headroom
+// must stay live, while Avalanche's bursts exceed its gas-derived block
+// capacity and tip it into the metastable throttling collapse.
+func TestBurstWorkloadLiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burst workload test skipped in -short mode")
+	}
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys.Name(), func(t *testing.T) {
+			res, err := Run(Config{
+				System:   sys,
+				Seed:     42,
+				Duration: 180 * time.Second,
+				Profile:  BurstProfile(60*time.Second, 10*time.Second, 2),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sys.Name() == "Avalanche" {
+				if !res.LivenessLost {
+					t.Fatalf("Avalanche survived 400 TPS bursts beyond its ~357 TPS capacity; last commit %v",
+						res.LastCommitAt)
+				}
+				return
+			}
+			if res.LivenessLost {
+				t.Fatalf("%s lost liveness under 2x bursts; last commit %v",
+					sys.Name(), res.LastCommitAt)
+			}
+			// The average offered load is ~233 TPS; the surviving
+			// chains must commit the bulk of it.
+			if res.UniqueCommits < res.Submitted*7/10 {
+				t.Fatalf("commits = %d of %d under bursts", res.UniqueCommits, res.Submitted)
+			}
+		})
+	}
+}
+
+// TestRampWorkloadFindsCapacity drives Redbelly with a rate ramp from 1x to
+// 6x over the run: the commit rate must keep following the offered load well
+// past the paper's 200 TPS operating point.
+func TestRampWorkloadFindsCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ramp workload test skipped in -short mode")
+	}
+	res, err := Run(Config{
+		System:   NewRedbelly(),
+		Seed:     42,
+		Duration: 120 * time.Second,
+		Profile:  RampProfile(1, 6, 120*time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LivenessLost {
+		t.Fatalf("Redbelly lost liveness on the ramp; last commit %v", res.LastCommitAt)
+	}
+	early := res.Throughput.MeanRate(10*time.Second, 30*time.Second)
+	late := res.Throughput.MeanRate(90*time.Second, 115*time.Second)
+	if late < 2*early {
+		t.Fatalf("throughput did not follow the ramp: early %.0f late %.0f", early, late)
+	}
+}
