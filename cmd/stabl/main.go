@@ -17,11 +17,13 @@
 //	recovery        recovery times after transient failures and partitions
 //	suite           multi-seed sweep over all systems and faults
 //	run             one experiment for -system and -fault
+//	campaign        chaos campaign over a fault-space grid (-config spec)
 //
 // Flags select the system, fault, seed and deployment size; see -help.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -53,16 +55,26 @@ func run(args []string, out io.Writer) error {
 		recover    = fs.Duration("recover", 266*time.Second, "fault recovery time")
 		bucket     = fs.Duration("bucket", 20*time.Second, "throughput rendering bucket")
 		svgDir     = fs.String("svg", "", "also write figures as SVG files into this directory")
-		configPath = fs.String("config", "", "JSON experiment spec for the run command (overrides other flags)")
-		jsonOut    = fs.Bool("json", false, "print machine-readable JSON instead of text (run and suite commands)")
+		configPath = fs.String("config", "", "JSON experiment spec for the run command, campaign spec for the campaign command (overrides other flags)")
+		jsonOut    = fs.Bool("json", false, "print machine-readable JSON instead of text (run, suite and campaign commands)")
+		workers    = fs.Int("workers", 0, "concurrent runs for the suite and campaign commands (0 = GOMAXPROCS)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
+	if fs.NArg() == 0 {
 		fs.Usage()
-		return fmt.Errorf("expected exactly one command, got %d", fs.NArg())
+		return fmt.Errorf("expected a command")
+	}
+	// Flags may also follow the command (`stabl campaign -config spec.json`).
+	command := fs.Arg(0)
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one command, got %q and %q", command, fs.Arg(0))
 	}
 
 	cfg := stabl.Config{
@@ -74,7 +86,7 @@ func run(args []string, out io.Writer) error {
 		Fault:         stabl.FaultPlan{InjectAt: *inject, RecoverAt: *recover},
 	}
 
-	switch cmd := fs.Arg(0); cmd {
+	switch cmd := command; cmd {
 	case "fig1":
 		fig, err := stabl.Fig1(cfg)
 		if err != nil {
@@ -137,6 +149,7 @@ func run(args []string, out io.Writer) error {
 			Base:    cfg,
 			Systems: stabl.Systems(),
 			Seeds:   []int64{*seed, *seed + 1, *seed + 2},
+			Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -148,6 +161,44 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, cell)
 		}
 		return nil
+	case "campaign":
+		if *configPath == "" {
+			return fmt.Errorf("campaign needs -config <campaign-spec.json>, e.g. specs/campaign-crash-sweep.json")
+		}
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		spec, err := stabl.ParseCampaignSpec(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		opts := stabl.CampaignOptions{Workers: *workers}
+		if !*jsonOut {
+			// Live progress goes to stderr so stdout stays a clean,
+			// deterministic artifact.
+			opts.Progress = func(done, total int, cell *stabl.CampaignCell) {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, cell)
+			}
+		}
+		res, err := stabl.RunCampaign(context.Background(), spec, opts)
+		if err != nil {
+			return err
+		}
+		for _, sys := range res.Systems {
+			svg := stabl.CampaignHeatmapSVG(res, sys.System)
+			if err := writeSVG(*svgDir, "campaign-"+sys.System+".svg", svg); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			return res.WriteJSON(out)
+		}
+		return res.WriteText(out)
 	case "run":
 		if *configPath != "" {
 			f, err := os.Open(*configPath)
@@ -168,7 +219,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			kind, err := parseFault(*fault)
+			kind, err := stabl.ParseFaultKind(*fault)
 			if err != nil {
 				return err
 			}
@@ -200,16 +251,4 @@ func writeSVG(dir, name, svg string) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, name), []byte(svg), 0o644)
-}
-
-func parseFault(name string) (stabl.FaultKind, error) {
-	for _, kind := range []stabl.FaultKind{
-		stabl.FaultNone, stabl.FaultCrash, stabl.FaultTransient,
-		stabl.FaultPartition, stabl.FaultSecureClient, stabl.FaultSlow,
-	} {
-		if kind.String() == name {
-			return kind, nil
-		}
-	}
-	return stabl.FaultNone, fmt.Errorf("unknown fault %q", name)
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"stabl"
 )
 
 // fastArgs shrink the experiment so CLI tests stay quick.
@@ -86,9 +88,9 @@ func TestCLINoCommand(t *testing.T) {
 
 func TestParseFaultRoundTrip(t *testing.T) {
 	for _, name := range []string{"none", "crash", "transient", "partition", "secure-client", "slow"} {
-		kind, err := parseFault(name)
+		kind, err := stabl.ParseFaultKind(name)
 		if err != nil {
-			t.Fatalf("parseFault(%s): %v", name, err)
+			t.Fatalf("ParseFaultKind(%s): %v", name, err)
 		}
 		if kind.String() != name {
 			t.Fatalf("round trip %s -> %s", name, kind)
@@ -121,5 +123,110 @@ func TestCLIRunWithMissingConfigFile(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-config", "/nonexistent.json", "run"}, &buf); err == nil {
 		t.Fatal("missing config accepted")
+	}
+}
+
+// campaignSpec is a small two-system fault-space grid that the campaign CLI
+// tests share: 2x (2 counts x 1 inject) crash cells x 2 seeds = 8+ cells.
+const campaignSpec = `{
+	"systems": ["Redbelly", "Algorand"],
+	"faults": ["crash"],
+	"countDeltas": [0, 1],
+	"injectSecs": [20],
+	"seeds": [1, 2],
+	"base": {"durationSec": 60}
+}`
+
+func writeCampaignSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := os.WriteFile(path, []byte(campaignSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLICampaignJSONStableAcrossWorkers(t *testing.T) {
+	path := writeCampaignSpec(t)
+	encode := func(workers string) string {
+		var buf strings.Builder
+		if err := run([]string{"-config", path, "-workers", workers, "-json", "campaign"}, &buf); err != nil {
+			t.Fatalf("campaign -workers %s: %v", workers, err)
+		}
+		return buf.String()
+	}
+	sequential := encode("1")
+	parallel := encode("4")
+	if sequential != parallel {
+		t.Fatalf("campaign output depends on worker count:\n%s\nvs\n%s", parallel, sequential)
+	}
+	var res struct {
+		TotalCells  int `json:"totalCells"`
+		FailedCells int `json:"failedCells"`
+		Systems     []struct {
+			System string `json:"system"`
+		} `json:"systems"`
+	}
+	if err := json.Unmarshal([]byte(sequential), &res); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if res.TotalCells != 8 || res.FailedCells != 0 {
+		t.Fatalf("campaign = %+v", res)
+	}
+	if len(res.Systems) != 2 || res.Systems[0].System != "Redbelly" {
+		t.Fatalf("systems = %+v", res.Systems)
+	}
+}
+
+func TestCLICampaignTextAndHeatmaps(t *testing.T) {
+	path := writeCampaignSpec(t)
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-config", path, "-workers", "2", "-svg", dir, "campaign"}, &buf); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "campaign: 8 cells") || !strings.Contains(out, "most sensitive:") {
+		t.Fatalf("output = %q", out)
+	}
+	for _, name := range []string{"campaign-Redbelly.svg", "campaign-Algorand.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "fault-space sensitivity") {
+			t.Fatalf("%s is not a campaign heatmap", name)
+		}
+	}
+}
+
+func TestCLIFlagsAfterCommand(t *testing.T) {
+	path := writeCampaignSpec(t)
+	var buf strings.Builder
+	if err := run([]string{"campaign", "-config", path, "-workers", "2", "-json"}, &buf); err != nil {
+		t.Fatalf("flags after command rejected: %v", err)
+	}
+	var res struct {
+		TotalCells int `json:"totalCells"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &res); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if res.TotalCells != 8 {
+		t.Fatalf("totalCells = %d", res.TotalCells)
+	}
+}
+
+func TestCLITwoCommandsRejected(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"fig3a", "fig3b"}, &buf); err == nil {
+		t.Fatal("two commands accepted")
+	}
+}
+
+func TestCLICampaignRequiresConfig(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"campaign"}, &buf); err == nil {
+		t.Fatal("campaign without -config accepted")
 	}
 }

@@ -1,0 +1,51 @@
+// Chaos campaign: instead of probing the paper's hand-picked fault points,
+// sweep a grid over the fault space — fault kind x fault count around the
+// tolerance boundary x inject time x seed — on all CPU cores at once, then
+// rank where each chain is most sensitive. This is the systematic
+// exploration the chaos-engineering literature argues for, compressed into
+// a few wall-clock seconds of virtual time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"stabl"
+)
+
+func main() {
+	spec := stabl.CampaignSpec{
+		Systems:     []string{"Redbelly", "Algorand"},
+		Faults:      []string{"crash", "transient"},
+		CountDeltas: []int{0, 1}, // f = t and f = t+1: either side of the claimed tolerance
+		InjectSecs:  []float64{30, 60},
+		OutageSecs:  []float64{30},
+		Seeds:       []int64{1, 2},
+		Base:        stabl.Spec{Validators: 10, Clients: 5, DurationSec: 120},
+	}
+
+	res, err := stabl.RunCampaign(context.Background(), spec, stabl.CampaignOptions{
+		Progress: func(done, total int, cell *stabl.CampaignCell) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, cell)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := res.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The per-system heatmaps make the surfaces visual: fault kind rows,
+	// inject-time columns, liveness losses in dark red.
+	for _, sys := range res.Systems {
+		name := "campaign-" + sys.System + ".svg"
+		if err := os.WriteFile(name, []byte(stabl.CampaignHeatmapSVG(res, sys.System)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", name)
+	}
+}

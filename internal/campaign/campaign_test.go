@@ -1,0 +1,299 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"stabl/internal/core"
+)
+
+// fastSpec is a small but multi-dimensional campaign over the stub chain:
+// 2 faults x 2 counts x 1 inject x (1|1) outage x 2 seeds = 8 cells.
+func fastSpec() Spec {
+	return Spec{
+		Systems:     []string{"Stub"},
+		Faults:      []string{"crash", "transient"},
+		CountDeltas: []int{0, 1},
+		InjectSecs:  []float64{15},
+		OutageSecs:  []float64{10},
+		Seeds:       []int64{1, 2},
+		Base:        core.Spec{DurationSec: 45},
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	encode := func(workers int) []byte {
+		t.Helper()
+		res, err := Run(context.Background(), fastSpec(), Options{Workers: workers, Resolve: resolveStubs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sequential := encode(1)
+	parallel := encode(8)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatalf("workers=8 JSON diverged from workers=1:\n%s\nvs\n%s", parallel, sequential)
+	}
+
+	var res Result
+	if err := json.Unmarshal(sequential, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCells != 8 || len(res.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", res.TotalCells)
+	}
+	if res.FailedCells != 0 {
+		t.Fatalf("failed cells = %d:\n%s", res.FailedCells, sequential)
+	}
+	sys := res.System("Stub")
+	if sys == nil || sys.Runs != 8 {
+		t.Fatalf("system summary = %+v", sys)
+	}
+	if len(sys.MostSensitive) == 0 || len(sys.Surfaces) == 0 {
+		t.Fatalf("missing ranking or surfaces: %+v", sys)
+	}
+	// The stub forwards everything to node 0 and the fault targets the
+	// highest ids, so every cell stays finite.
+	for _, c := range res.Cells {
+		if c.Infinite {
+			t.Fatalf("unexpected liveness loss: %+v", c)
+		}
+	}
+}
+
+func TestCampaignProgressAndAggregates(t *testing.T) {
+	var calls int
+	var last int
+	res, err := Run(context.Background(), fastSpec(), Options{
+		Workers: 4,
+		Resolve: resolveStubs,
+		Progress: func(done, total int, cell *CellResult) {
+			calls++
+			last = done
+			if total != 8 || cell == nil {
+				t.Errorf("progress(done=%d, total=%d, cell=%v)", done, total, cell)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 || last != 8 {
+		t.Fatalf("progress calls = %d, last done = %d", calls, last)
+	}
+	// 4 coordinates, each over 2 seeds.
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Runs != 2 {
+			t.Fatalf("point runs = %+v", p)
+		}
+		if p.MinScore > p.MedianScore || p.MedianScore > p.MaxScore {
+			t.Fatalf("score order violated: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "most sensitive:") || !strings.Contains(buf.String(), "by count:") {
+		t.Fatalf("text summary = %q", buf.String())
+	}
+}
+
+func TestCampaignIsolatesPanickingCells(t *testing.T) {
+	spec := Spec{
+		Systems:    []string{"Stub", "Panicky"},
+		Faults:     []string{"crash"},
+		InjectSecs: []float64{15},
+		Seeds:      []int64{1},
+		Base:       core.Spec{DurationSec: 45},
+	}
+	res, err := Run(context.Background(), spec, Options{Workers: 4, Resolve: resolveStubs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCells != 2 || res.FailedCells != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, c := range res.Cells {
+		switch c.System {
+		case "Panicky":
+			if !strings.Contains(c.Error, "panic") || !strings.Contains(c.Error, "accounts hash mismatch") {
+				t.Fatalf("panicky cell error = %q", c.Error)
+			}
+			if !strings.Contains(c.String(), "FAILED") {
+				t.Fatalf("String = %q", c.String())
+			}
+		case "Stub":
+			if c.Error != "" || c.Score <= 0 {
+				t.Fatalf("healthy cell = %+v", c)
+			}
+		}
+	}
+	panicky := res.System("Panicky")
+	if panicky.FailedRuns != 1 {
+		t.Fatalf("panicky summary = %+v", panicky)
+	}
+	// The panicking coordinate must top the ranking.
+	if len(panicky.MostSensitive) == 0 || panicky.MostSensitive[0].FailedRuns != 1 {
+		t.Fatalf("ranking = %+v", panicky.MostSensitive)
+	}
+}
+
+func TestCampaignSamplingIsDeterministic(t *testing.T) {
+	spec := fastSpec()
+	spec.Sample = 3
+	spec.SampleSeed = 7
+	first, err := Run(context.Background(), spec, Options{Workers: 2, Resolve: resolveStubs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TotalCells != 3 {
+		t.Fatalf("sampled cells = %d, want 3", first.TotalCells)
+	}
+	second, err := Run(context.Background(), spec, Options{Workers: 2, Resolve: resolveStubs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Cells {
+		if first.Cells[i].Cell != second.Cells[i].Cell {
+			t.Fatalf("sample diverged: %v vs %v", first.Cells[i].Cell, second.Cells[i].Cell)
+		}
+	}
+}
+
+func TestCampaignCancellationReturnsPartialResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, fastSpec(), Options{Workers: 2, Resolve: resolveStubs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedCells != res.TotalCells {
+		t.Fatalf("failed = %d of %d, want all", res.FailedCells, res.TotalCells)
+	}
+	for _, c := range res.Cells {
+		if !strings.Contains(c.Error, "context canceled") {
+			t.Fatalf("cell error = %q", c.Error)
+		}
+	}
+}
+
+func TestExpandCollapsesInapplicableDimensions(t *testing.T) {
+	spec := Spec{
+		Systems:     []string{"Stub"},
+		Faults:      []string{"crash", "transient", "slow", "secure-client"},
+		CountDeltas: []int{-5, -1, 0, 0, 1}, // t=3: dedupes to f=2,3,4; -5 dropped
+		InjectSecs:  []float64{20, 40},
+		OutageSecs:  []float64{10, 30},
+		SlowBySecs:  []float64{5},
+		Seeds:       []int64{1},
+	}.withDefaults()
+	cells, err := expand(spec, resolveStubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(fault string) int {
+		n := 0
+		for _, c := range cells {
+			if c.Fault == fault {
+				n++
+			}
+		}
+		return n
+	}
+	// crash: 3 counts x 2 injects, outage and slow collapsed.
+	if got := count("crash"); got != 6 {
+		t.Fatalf("crash cells = %d, want 6", got)
+	}
+	// transient: 3 x 2 x 2 outages.
+	if got := count("transient"); got != 12 {
+		t.Fatalf("transient cells = %d, want 12", got)
+	}
+	// slow: same as transient, single slow-by.
+	if got := count("slow"); got != 12 {
+		t.Fatalf("slow cells = %d, want 12", got)
+	}
+	// secure-client: every node dimension collapses to one cell.
+	if got := count("secure-client"); got != 1 {
+		t.Fatalf("secure-client cells = %d, want 1", got)
+	}
+	for _, c := range cells {
+		if c.Fault == "crash" && (c.OutageSec != 0 || c.SlowBySec != 0) {
+			t.Fatalf("crash cell carries healing dims: %+v", c)
+		}
+		if c.Fault == "secure-client" && (c.Count != 0 || c.InjectSec != 0) {
+			t.Fatalf("secure-client cell carries node dims: %+v", c)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{}, Options{Resolve: resolveStubs}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	bad := Spec{Systems: []string{"Stub"}, Faults: []string{"meteor-strike"}}
+	if _, err := Run(context.Background(), bad, Options{Resolve: resolveStubs}); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+	if _, err := Run(context.Background(), fastSpec(), Options{}); err == nil {
+		t.Fatal("nil Resolve accepted")
+	}
+	unknownSys := fastSpec()
+	unknownSys.Systems = []string{"Atlantis"}
+	if _, err := Run(context.Background(), unknownSys, Options{Resolve: resolveStubs}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := fastSpec()
+	var buf bytes.Buffer
+	if err := spec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Systems[0] != "Stub" || len(parsed.Faults) != 2 || parsed.Base.DurationSec != 45 {
+		t.Fatalf("round trip = %+v", parsed)
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"systems": ["Stub"], "warp": 9}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestHeatmapGridMarksInfiniteAndMissing(t *testing.T) {
+	res := &Result{Cells: []*CellResult{
+		{Cell: Cell{System: "X", Fault: "crash", InjectSec: 10, Seed: 1}, Score: 2},
+		{Cell: Cell{System: "X", Fault: "crash", InjectSec: 10, Seed: 2}, Score: 4},
+		{Cell: Cell{System: "X", Fault: "slow", InjectSec: 10, Seed: 1}, Infinite: true},
+		{Cell: Cell{System: "X", Fault: "slow", InjectSec: 20, Seed: 1}, Error: "panic: boom"},
+		{Cell: Cell{System: "Y", Fault: "crash", InjectSec: 10, Seed: 1}, Score: 9},
+	}}
+	faults, injects, values := res.HeatmapGrid("X")
+	if len(faults) != 2 || len(injects) != 2 {
+		t.Fatalf("grid = %v x %v", faults, injects)
+	}
+	if values[0][0] != 3 {
+		t.Fatalf("crash@10 = %v, want mean 3", values[0][0])
+	}
+	if !math.IsNaN(values[0][1]) {
+		t.Fatalf("crash@20 = %v, want NaN", values[0][1])
+	}
+	if !math.IsInf(values[1][0], 1) || !math.IsInf(values[1][1], 1) {
+		t.Fatalf("slow row = %v, want inf", values[1])
+	}
+}

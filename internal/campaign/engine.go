@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"stabl/internal/chain"
+	"stabl/internal/core"
+	"stabl/internal/pool"
+)
+
+// Options configure a campaign run. They are deliberately not part of the
+// JSON Spec: worker count and progress reporting change how fast a campaign
+// runs, never what it measures.
+type Options struct {
+	// Workers bounds how many cells execute concurrently; GOMAXPROCS
+	// when zero or negative.
+	Workers int
+	// Resolve maps a system name to a fresh model instance; required.
+	// It must be safe for concurrent use (stabl.SystemByName is).
+	Resolve func(string) (chain.System, error)
+	// Progress, when set, is called after every cell completes, from
+	// worker goroutines but never concurrently. done counts completed
+	// cells, total is the campaign size.
+	Progress func(done, total int, res *CellResult)
+}
+
+// Run expands the spec and executes every cell on the worker pool. A cell
+// whose model run panics (e.g. Solana's EAH panic path) or whose config is
+// invalid is reported as a failed cell; only a nil Resolve, an invalid
+// spec or an unknown system/fault name fail the campaign itself. Cancelling
+// ctx stops scheduling new cells; already-started cells finish and the
+// partial result is still aggregated and returned.
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	if opts.Resolve == nil {
+		return nil, fmt.Errorf("campaign: Options.Resolve is required")
+	}
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	cells, err := expand(spec, opts.Resolve)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign: spec expands to zero cells")
+	}
+
+	baselines := newBaselineCache()
+	results := make([]*CellResult, len(cells))
+	var mu sync.Mutex
+	done := 0
+	errs := pool.ForEach(ctx, len(cells), opts.Workers, func(i int) error {
+		res := runCell(spec, cells[i], opts.Resolve, baselines)
+		results[i] = res
+		if opts.Progress != nil {
+			mu.Lock()
+			done++
+			opts.Progress(done, len(cells), res)
+			mu.Unlock()
+		}
+		return nil
+	})
+	// runCell captures its own panics, so pool errors are cancellation
+	// (skipped cells) or a panic in the bookkeeping above; either way the
+	// cell failed without a measurement.
+	for i, err := range errs {
+		if err != nil {
+			results[i] = &CellResult{Cell: cells[i], Error: err.Error()}
+		}
+	}
+	return aggregate(spec, results), nil
+}
+
+// runCell executes one cell: materialize its config, fetch (or compute) the
+// shared baseline, run the altered environment and digest the comparison.
+// Any panic inside the model run fails only this cell.
+func runCell(spec Spec, cell Cell, resolve func(string) (chain.System, error), baselines *baselineCache) (res *CellResult) {
+	res = &CellResult{Cell: cell}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Error = fmt.Sprintf("panic: %v", v)
+		}
+	}()
+
+	cellSpec := spec.Base
+	cellSpec.System = cell.System
+	cellSpec.Seed = cell.Seed
+	cellSpec.Fault = core.FaultSpec{
+		Kind:       cell.Fault,
+		Count:      cell.Count,
+		InjectSec:  cell.InjectSec,
+		RecoverSec: cell.InjectSec + cell.OutageSec,
+		SlowBySec:  cell.SlowBySec,
+	}
+	cfg, err := cellSpec.Config(resolve)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+
+	baseline, err := baselines.get(cell.System, cell.Seed, cfg)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	cmp, err := core.CompareWithBaseline(cfg, baseline)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+
+	res.Score = cmp.Score.Value
+	res.Infinite = cmp.Score.Infinite
+	res.Benefit = cmp.Score.Benefit
+	res.Recovered = cmp.Recovered
+	res.RecoverySec = cmp.RecoveryTime.Seconds()
+	if cell.InjectSec > 0 {
+		// Stabilization: how long after injection the altered run
+		// sustained the baseline steady-state rate again, the
+		// flip side of Compare's recovery (measured from healing).
+		inject := time.Duration(cell.InjectSec * float64(time.Second))
+		ref := core.SteadyStateRate(cmp.Baseline, inject)
+		stab, ok := cmp.Altered.Throughput.RecoveryTime(
+			inject, ref, core.RecoveryFraction, core.RecoveryWindow)
+		res.Stabilized = ok
+		res.StabilizationSec = stab.Seconds()
+	}
+	return res
+}
+
+// baselineCache shares fault-free baseline runs across cells. Within one
+// campaign every cell uses the same deployment template, so the baseline is
+// fully determined by (system, seed): a grid of dozens of fault cells pays
+// for each baseline once instead of once per cell.
+type baselineCache struct {
+	mu sync.Mutex
+	m  map[baselineKey]*baselineEntry
+}
+
+type baselineKey struct {
+	system string
+	seed   int64
+}
+
+type baselineEntry struct {
+	once sync.Once
+	res  *core.RunResult
+	err  error
+}
+
+func newBaselineCache() *baselineCache {
+	return &baselineCache{m: make(map[baselineKey]*baselineEntry)}
+}
+
+func (c *baselineCache) get(system string, seed int64, cfg core.Config) (*core.RunResult, error) {
+	key := baselineKey{system, seed}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &baselineEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		// A panicking baseline must fail every cell that shares it,
+		// not the campaign.
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = fmt.Errorf("panic: %v", v)
+			}
+		}()
+		e.res, e.err = core.Run(core.BaselineConfig(cfg))
+	})
+	if e.err != nil {
+		return nil, fmt.Errorf("baseline %s seed %d: %w", system, seed, e.err)
+	}
+	return e.res, nil
+}

@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"stabl/internal/chain"
+	"stabl/internal/core"
+)
+
+// Cell identifies one point of the fault space. Dimensions that do not
+// apply to the cell's fault kind are zero: OutageSec for faults that never
+// heal, SlowBySec for everything but the slow fault, Count and InjectSec for
+// faults that touch no validator (secure-client).
+type Cell struct {
+	System    string  `json:"system"`
+	Fault     string  `json:"fault"`
+	Count     int     `json:"count,omitempty"`
+	InjectSec float64 `json:"injectSec,omitempty"`
+	OutageSec float64 `json:"outageSec,omitempty"`
+	SlowBySec float64 `json:"slowBySec,omitempty"`
+	Seed      int64   `json:"seed"`
+}
+
+// Key renders the cell's coordinate without the seed, the grouping unit for
+// cross-seed aggregation.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s f=%d inject=%gs outage=%gs slow=%gs",
+		c.System, c.Fault, c.Count, c.InjectSec, c.OutageSec, c.SlowBySec)
+}
+
+// String renders the full cell coordinate.
+func (c Cell) String() string { return fmt.Sprintf("%s seed=%d", c.Key(), c.Seed) }
+
+// expand materializes the spec's grid: systems × faults × counts × inject
+// times × outages × slow-bys × seeds, with inapplicable dimensions collapsed
+// per fault kind so the grid holds no duplicate coordinates. The order is
+// deterministic: dimensions nest in the order above, seeds vary fastest.
+func expand(spec Spec, resolve func(string) (chain.System, error)) ([]Cell, error) {
+	validators := spec.Base.Validators
+	if validators == 0 {
+		validators = 10
+	}
+
+	var cells []Cell
+	for _, sysName := range spec.Systems {
+		sys, err := resolve(sysName)
+		if err != nil {
+			return nil, err
+		}
+		tolerance := sys.Tolerance(validators)
+		for _, faultName := range spec.Faults {
+			kind, err := core.ParseFaultKind(faultName)
+			if err != nil {
+				return nil, err
+			}
+
+			counts := []int{0}
+			injects := []float64{0}
+			if kind.NeedsNodes() {
+				counts = resolveCounts(tolerance, spec.CountDeltas)
+				injects = spec.InjectSecs
+			}
+			outages := []float64{0}
+			if kind.Recovers() {
+				outages = spec.OutageSecs
+			}
+			slows := []float64{0}
+			if kind == core.FaultSlow {
+				slows = spec.SlowBySecs
+			}
+
+			for _, count := range counts {
+				for _, inject := range injects {
+					for _, outage := range outages {
+						for _, slow := range slows {
+							for _, seed := range spec.Seeds {
+								cells = append(cells, Cell{
+									System:    sysName,
+									Fault:     faultName,
+									Count:     count,
+									InjectSec: inject,
+									OutageSec: outage,
+									SlowBySec: slow,
+									Seed:      seed,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return sample(spec, cells), nil
+}
+
+// resolveCounts maps tolerance deltas to distinct positive fault counts,
+// ascending. Deltas below f=1 are dropped: killing zero nodes is the
+// baseline, not a fault.
+func resolveCounts(tolerance int, deltas []int) []int {
+	seen := make(map[int]bool, len(deltas))
+	var counts []int
+	for _, d := range deltas {
+		f := tolerance + d
+		if f < 1 || seen[f] {
+			continue
+		}
+		seen[f] = true
+		counts = append(counts, f)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// sample draws spec.Sample cells without replacement (seeded by
+// spec.SampleSeed), preserving the grid order, so huge grids can be probed
+// deterministically.
+func sample(spec Spec, cells []Cell) []Cell {
+	if spec.Sample <= 0 || spec.Sample >= len(cells) {
+		return cells
+	}
+	rng := rand.New(rand.NewSource(spec.SampleSeed))
+	picks := rng.Perm(len(cells))[:spec.Sample]
+	sort.Ints(picks)
+	out := make([]Cell, 0, len(picks))
+	for _, i := range picks {
+		out = append(out, cells[i])
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package campaign implements STABL's chaos-campaign engine: systematic
+// exploration of the fault space instead of the paper's hand-picked fault
+// points. A declarative Spec expands into a grid (or a seeded-random sample)
+// of experiment cells across {system, fault kind, fault count, inject time,
+// outage duration, slow-by, seed}; the engine executes the cells on a
+// bounded worker pool with per-cell panic isolation and aggregates the
+// outcomes into per-dimension sensitivity surfaces and per-system rankings
+// of the least-resilient cells. Every cell is an independent deterministic
+// simulation, so results are byte-identical at any worker count.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"stabl/internal/core"
+)
+
+// Spec is the JSON-serializable description of a campaign, the counterpart
+// of core.Spec for a whole fault-space sweep:
+//
+//	{
+//	  "systems": ["Redbelly", "Algorand"],
+//	  "faults": ["crash", "transient"],
+//	  "countDeltas": [-1, 0, 1, 2],
+//	  "injectSecs": [40, 80],
+//	  "outageSecs": [30, 60],
+//	  "seeds": [1, 2],
+//	  "base": {"validators": 10, "durationSec": 160}
+//	}
+type Spec struct {
+	// Systems under test, by registry name. Required.
+	Systems []string `json:"systems"`
+	// Faults are the fault kinds to inject; defaults to the four
+	// node-affecting kinds: crash, transient, partition, slow.
+	Faults []string `json:"faults,omitempty"`
+	// CountDeltas are fault counts relative to each system's claimed
+	// tolerance t: delta d explores f = t+d. Defaults to {0} (the paper's
+	// f = t). Non-positive resolved counts are skipped; {-1, 0, 1, 2}
+	// explores f = t-1 … t+2 around the tolerance boundary.
+	CountDeltas []int `json:"countDeltas,omitempty"`
+	// InjectSecs are fault injection times; defaults to {133}.
+	InjectSecs []float64 `json:"injectSecs,omitempty"`
+	// OutageSecs are outage durations for recovering faults (transient,
+	// partition, slow): the fault heals at inject+outage. Defaults to
+	// {133}.
+	OutageSecs []float64 `json:"outageSecs,omitempty"`
+	// SlowBySecs are per-interface delays for the slow fault; defaults to
+	// {30}.
+	SlowBySecs []float64 `json:"slowBySecs,omitempty"`
+	// Seeds repeat every coordinate; defaults to {1, 2, 3}.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Sample, when positive and smaller than the full grid, runs only a
+	// seeded-random sample of Sample cells (drawn without replacement
+	// with SampleSeed), trading coverage for wall-clock time on huge
+	// grids.
+	Sample int `json:"sample,omitempty"`
+	// SampleSeed seeds the sample draw; the same spec always selects the
+	// same cells.
+	SampleSeed int64 `json:"sampleSeed,omitempty"`
+	// Base is the deployment template shared by every cell (validators,
+	// clients, rate, duration, profile, …). Its system, seed and fault
+	// fields are ignored: the campaign dimensions override them.
+	Base core.Spec `json:"base,omitempty"`
+}
+
+// ParseSpec decodes a campaign spec from JSON, rejecting unknown fields.
+func ParseSpec(r io.Reader) (Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parse spec: %w", err)
+	}
+	return spec, nil
+}
+
+// WriteJSON encodes the spec as indented JSON.
+func (s Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Faults) == 0 {
+		s.Faults = []string{
+			core.FaultCrash.String(), core.FaultTransient.String(),
+			core.FaultPartition.String(), core.FaultSlow.String(),
+		}
+	}
+	if len(s.CountDeltas) == 0 {
+		s.CountDeltas = []int{0}
+	}
+	if len(s.InjectSecs) == 0 {
+		s.InjectSecs = []float64{133}
+	}
+	if len(s.OutageSecs) == 0 {
+		s.OutageSecs = []float64{133}
+	}
+	if len(s.SlowBySecs) == 0 {
+		s.SlowBySecs = []float64{30}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1, 2, 3}
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if len(s.Systems) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one system")
+	}
+	for _, name := range s.Faults {
+		if _, err := core.ParseFaultKind(name); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.InjectSecs {
+		if v <= 0 {
+			return fmt.Errorf("campaign: injectSecs must be positive, got %v", v)
+		}
+	}
+	for _, v := range s.OutageSecs {
+		if v <= 0 {
+			return fmt.Errorf("campaign: outageSecs must be positive, got %v", v)
+		}
+	}
+	for _, v := range s.SlowBySecs {
+		if v <= 0 {
+			return fmt.Errorf("campaign: slowBySecs must be positive, got %v", v)
+		}
+	}
+	if s.Sample < 0 {
+		return fmt.Errorf("campaign: sample must be non-negative, got %d", s.Sample)
+	}
+	return nil
+}

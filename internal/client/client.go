@@ -55,6 +55,7 @@ type Client struct {
 	ctx        *simnet.Context
 	ticker     interface{ Stop() }
 	pending    map[chain.TxID]*pendingTx
+	order      []chain.TxID // pending txs in submission order; retries must not follow map order
 	credits    float64
 	lastAccrue time.Duration
 	latencies  []float64 // seconds, completed transactions
@@ -161,6 +162,7 @@ func (c *Client) tick() {
 
 func (c *Client) submit(now time.Duration) {
 	tx := c.gen.Next(now)
+	c.order = append(c.order, tx.ID)
 	c.pending[tx.ID] = &pendingTx{
 		tx:        tx,
 		confirmed: make(map[simnet.NodeID]bool, len(c.cfg.Endpoints)),
@@ -174,7 +176,16 @@ func (c *Client) submit(now time.Duration) {
 
 func (c *Client) checkRetries() {
 	now := c.ctx.Now()
-	for _, p := range c.pending {
+	// Walk in submission order, compacting completed entries as we go:
+	// retransmissions draw latency samples from the shared network RNG, so
+	// their order must be reproducible.
+	live := c.order[:0]
+	for _, id := range c.order {
+		p, ok := c.pending[id]
+		if !ok {
+			continue
+		}
+		live = append(live, id)
 		if p.retryAt > now {
 			continue
 		}
@@ -190,6 +201,7 @@ func (c *Client) checkRetries() {
 			}
 		}
 	}
+	c.order = live
 }
 
 // Latencies returns the commit latencies (in seconds) of completed

@@ -168,7 +168,7 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: %d clients need at most %d validators", c.Clients, c.Validators)
 	}
 	f := c.faultCount()
-	if f > c.Validators-c.Clients && faultNeedsNodes(c.Fault.Kind) {
+	if f > c.Validators-c.Clients && c.Fault.Kind.NeedsNodes() {
 		return fmt.Errorf("core: %d faulty nodes but only %d validators have no client attached",
 			f, c.Validators-c.Clients)
 	}
@@ -178,9 +178,22 @@ func (c Config) validate() error {
 	return nil
 }
 
-func faultNeedsNodes(k FaultKind) bool {
+// NeedsNodes reports whether the kind affects a set of validator nodes (as
+// opposed to altering only the client side, like FaultSecureClient).
+func (k FaultKind) NeedsNodes() bool {
 	switch k {
 	case FaultCrash, FaultTransient, FaultPartition, FaultSlow:
+		return true
+	default:
+		return false
+	}
+}
+
+// Recovers reports whether the kind heals at FaultPlan.RecoverAt, making
+// recovery and stabilization times meaningful.
+func (k FaultKind) Recovers() bool {
+	switch k {
+	case FaultTransient, FaultPartition, FaultSlow:
 		return true
 	default:
 		return false
@@ -374,7 +387,7 @@ func genesisAccounts(cfg Config) []chain.GenesisAccount {
 // transactions they would otherwise lose").
 func (c Config) faultyNodes() []simnet.NodeID {
 	f := c.faultCount()
-	if !faultNeedsNodes(c.Fault.Kind) || f == 0 {
+	if !c.Fault.Kind.NeedsNodes() || f == 0 {
 		return nil
 	}
 	out := make([]simnet.NodeID, 0, f)

@@ -42,12 +42,37 @@ type Comparison struct {
 // experiment while keeping the score scale readable.
 const SensitivityGridStep = 0.1
 
-// Recovery detection parameters: a window of recoveryWindow buckets must
-// sustain recoveryFraction of the baseline steady rate.
+// Recovery detection parameters: a window of RecoveryWindow buckets must
+// sustain RecoveryFraction of the baseline steady rate. The campaign engine
+// reuses them so its stabilization metric agrees with Compare's recovery
+// metric.
 const (
-	recoveryWindow   = 5
-	recoveryFraction = 0.7
+	RecoveryWindow   = 5
+	RecoveryFraction = 0.7
 )
+
+// BaselineConfig returns the fault-free counterpart of cfg: the same
+// deployment, no injected failure and the default single-endpoint client.
+// The baseline is independent of cfg.Fault, so campaigns compute it once per
+// (system, seed) and share it across every fault cell via
+// CompareWithBaseline.
+func BaselineConfig(cfg Config) Config {
+	cfg = cfg.withDefaults()
+	cfg.Fault = FaultPlan{Kind: FaultNone}
+	cfg.Fanout = 1
+	return cfg
+}
+
+// SteadyStateRate is the baseline reference rate used for recovery and
+// stabilization detection: the mean rate over the second half of the
+// pre-fault phase, skipping at most the first 60 s of warm-up.
+func SteadyStateRate(baseline *RunResult, injectAt time.Duration) float64 {
+	warmup := injectAt / 2
+	if warmup > 60*time.Second {
+		warmup = 60 * time.Second
+	}
+	return baseline.Throughput.MeanRate(warmup, injectAt)
+}
 
 // Compare runs the baseline and the altered environment described by
 // cfg.Fault and computes the sensitivity score.
@@ -56,10 +81,21 @@ func Compare(cfg Config) (*Comparison, error) {
 	if cfg.System == nil {
 		return nil, fmt.Errorf("core: config needs a System")
 	}
+	baseline, err := Run(BaselineConfig(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("baseline run: %w", err)
+	}
+	return CompareWithBaseline(cfg, baseline)
+}
 
-	baseCfg := cfg
-	baseCfg.Fault = FaultPlan{Kind: FaultNone}
-	baseCfg.Fanout = 1
+// CompareWithBaseline runs only the altered environment described by
+// cfg.Fault and scores it against a precomputed baseline run, which must
+// come from BaselineConfig(cfg) (same deployment, same seed).
+func CompareWithBaseline(cfg Config, baseline *RunResult) (*Comparison, error) {
+	cfg = cfg.withDefaults()
+	if cfg.System == nil {
+		return nil, fmt.Errorf("core: config needs a System")
+	}
 
 	altCfg := cfg
 	if cfg.Fault.Kind == FaultSecureClient {
@@ -74,10 +110,6 @@ func Compare(cfg Config) (*Comparison, error) {
 		}
 	}
 
-	baseline, err := Run(baseCfg)
-	if err != nil {
-		return nil, fmt.Errorf("baseline run: %w", err)
-	}
 	altered, err := Run(altCfg)
 	if err != nil {
 		return nil, fmt.Errorf("altered run: %w", err)
@@ -93,16 +125,10 @@ func Compare(cfg Config) (*Comparison, error) {
 	if altered.LivenessLost {
 		cmp.Score.Infinite = true
 	}
-	if cfg.Fault.Kind == FaultTransient || cfg.Fault.Kind == FaultPartition || cfg.Fault.Kind == FaultSlow {
-		// Steady-state reference window: the second half of the
-		// pre-fault phase, skipping at most the first 60 s of warm-up.
-		warmup := cfg.Fault.InjectAt / 2
-		if warmup > 60*time.Second {
-			warmup = 60 * time.Second
-		}
-		ref := baseline.Throughput.MeanRate(warmup, cfg.Fault.InjectAt)
+	if cfg.Fault.Kind.Recovers() {
+		ref := SteadyStateRate(baseline, cfg.Fault.InjectAt)
 		cmp.RecoveryTime, cmp.Recovered = altered.Throughput.RecoveryTime(
-			cfg.Fault.RecoverAt, ref, recoveryFraction, recoveryWindow)
+			cfg.Fault.RecoverAt, ref, RecoveryFraction, RecoveryWindow)
 	}
 	return cmp, nil
 }
@@ -110,7 +136,7 @@ func Compare(cfg Config) (*Comparison, error) {
 // String renders a comparison as one row of Fig 3.
 func (c *Comparison) String() string {
 	rec := ""
-	if c.Fault.Kind == FaultTransient || c.Fault.Kind == FaultPartition || c.Fault.Kind == FaultSlow {
+	if c.Fault.Kind.Recovers() {
 		if c.Recovered {
 			rec = fmt.Sprintf(" recovery=%.0fs", c.RecoveryTime.Seconds())
 		} else {

@@ -103,7 +103,7 @@ func (s Spec) Config(resolve func(string) (chain.System, error)) (Config, error)
 		SlowBy:    secs(s.Fault.SlowBySec),
 	}
 	if s.Fault.Kind != "" {
-		kind, err := parseFaultKind(s.Fault.Kind)
+		kind, err := ParseFaultKind(s.Fault.Kind)
 		if err != nil {
 			return Config{}, err
 		}
@@ -119,11 +119,18 @@ func (s Spec) Config(resolve func(string) (chain.System, error)) (Config, error)
 	return cfg, nil
 }
 
-func parseFaultKind(name string) (FaultKind, error) {
-	for _, kind := range []FaultKind{
+// FaultKinds lists every fault kind, in declaration order.
+func FaultKinds() []FaultKind {
+	return []FaultKind{
 		FaultNone, FaultCrash, FaultTransient, FaultPartition,
 		FaultSecureClient, FaultSlow,
-	} {
+	}
+}
+
+// ParseFaultKind is the inverse of FaultKind.String. It is the one canonical
+// name mapping, shared by JSON specs, the CLI and campaign specs.
+func ParseFaultKind(name string) (FaultKind, error) {
+	for _, kind := range FaultKinds() {
 		if kind.String() == name {
 			return kind, nil
 		}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/pool"
 )
 
 // SuiteConfig describes a full sensitivity sweep: every (system, fault)
@@ -25,6 +28,11 @@ type SuiteConfig struct {
 	Faults []FaultKind
 	// Seeds to repeat each cell with; defaults to {1, 2, 3}.
 	Seeds []int64
+	// Workers bounds how many (system, fault, seed) runs execute
+	// concurrently; GOMAXPROCS when zero. Every run is an independent
+	// deterministic simulation, so the aggregated output is identical at
+	// any worker count.
+	Workers int
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -97,25 +105,64 @@ func (r *SuiteResult) WriteJSON(w io.Writer) error {
 
 // RunSuite executes the sweep. Cells are ordered by system, then fault;
 // seeds vary fastest. Any run error aborts the suite.
+//
+// The (system, fault, seed) runs execute concurrently on the campaign
+// worker pool (cfg.Workers goroutines); aggregation happens afterwards in
+// the fixed cell order, so the output is deterministic regardless of the
+// worker count.
 func RunSuite(cfg SuiteConfig) (*SuiteResult, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Systems) == 0 {
 		return nil, fmt.Errorf("core: suite needs at least one system")
 	}
+
+	type job struct {
+		sys   chain.System
+		fault FaultKind
+		seed  int64
+	}
+	var jobs []job
+	for _, sys := range cfg.Systems {
+		for _, fault := range cfg.Faults {
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, job{sys, fault, seed})
+			}
+		}
+	}
+
+	// Fan the independent runs out; the first failure cancels the rest.
+	cmps := make([]*Comparison, len(jobs))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := pool.ForEach(ctx, len(jobs), cfg.Workers, func(i int) error {
+		j := jobs[i]
+		runCfg := cfg.Base
+		runCfg.System = j.sys
+		runCfg.Seed = j.seed
+		runCfg.Fault.Kind = j.fault
+		cmp, err := Compare(runCfg)
+		if err != nil {
+			cancel()
+			return fmt.Errorf("suite %s/%v seed %d: %w", j.sys.Name(), j.fault, j.seed, err)
+		}
+		cmps[i] = cmp
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+
 	result := &SuiteResult{}
+	next := 0
 	for _, sys := range cfg.Systems {
 		for _, fault := range cfg.Faults {
 			cell := &Cell{System: sys.Name(), Fault: fault.String()}
 			var recoverySum time.Duration
-			for _, seed := range cfg.Seeds {
-				runCfg := cfg.Base
-				runCfg.System = sys
-				runCfg.Seed = seed
-				runCfg.Fault.Kind = fault
-				cmp, err := Compare(runCfg)
-				if err != nil {
-					return nil, fmt.Errorf("suite %s/%v seed %d: %w", sys.Name(), fault, seed, err)
-				}
+			for range cfg.Seeds {
+				cmp := cmps[next]
+				next++
 				cell.Runs++
 				if cmp.Score.Infinite {
 					cell.InfiniteRuns++

@@ -66,6 +66,38 @@ func TestRunSuiteAggregates(t *testing.T) {
 	}
 }
 
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	suite := func(workers int) []byte {
+		t.Helper()
+		res, err := RunSuite(SuiteConfig{
+			Base: Config{
+				Duration: 60 * time.Second,
+				Fault:    FaultPlan{InjectAt: 15 * time.Second, RecoverAt: 25 * time.Second},
+			},
+			Systems: []chain.System{
+				&stubSystem{name: "Solid"},
+				&stubSystem{name: "Fragile", fragile: true},
+			},
+			Faults:  []FaultKind{FaultCrash, FaultTransient},
+			Seeds:   []int64{1, 2},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sequential := suite(1)
+	parallel := suite(4)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatalf("workers=4 output diverged from workers=1:\n%s\nvs\n%s", parallel, sequential)
+	}
+}
+
 func TestRunSuiteRejectsEmptySystems(t *testing.T) {
 	if _, err := RunSuite(SuiteConfig{}); err == nil {
 		t.Fatal("empty suite accepted")

@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap is a labelled grid chart, used for campaign sensitivity surfaces
+// (fault kind × inject time, one panel per system). Finite values shade
+// from white to the ramp color by magnitude; +Inf cells (liveness lost or
+// the model run crashed) render dark red with an "inf" label; NaN cells
+// (coordinate never explored) render light gray.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XLabels name the columns, YLabels the rows.
+	XLabels []string
+	YLabels []string
+	// Values[row][col] aligns with YLabels x XLabels.
+	Values [][]float64
+	Width  int
+	Height int
+}
+
+const (
+	heatRampR, heatRampG, heatRampB = 0xd6, 0x27, 0x28 // #d62728, the palette red
+	heatInfinite                    = "#67000d"
+	heatMissing                     = "#eeeeee"
+)
+
+// SVG renders the heatmap.
+func (h Heatmap) SVG() string {
+	w, hgt := h.Width, h.Height
+	if w <= 0 {
+		w = 640
+	}
+	if hgt <= 0 {
+		hgt = 80 + 40*len(h.YLabels)
+	}
+	cols, rows := len(h.XLabels), len(h.YLabels)
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(hgt - marginTop - marginBottom)
+
+	max := 0.0
+	for _, row := range h.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, hgt, w, hgt)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`,
+		marginLeft, escape(h.Title))
+	if cols == 0 || rows == 0 {
+		b.WriteString(`</svg>`)
+		return b.String()
+	}
+
+	cellW := plotW / float64(cols)
+	cellH := plotH / float64(rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := math.NaN()
+			if i < len(h.Values) && j < len(h.Values[i]) {
+				v = h.Values[i][j]
+			}
+			x := float64(marginLeft) + cellW*float64(j)
+			y := float64(marginTop) + cellH*float64(i)
+			fill, label, text := heatCell(v, max)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="white" stroke-width="1"/>`,
+				x, y, cellW, cellH, fill)
+			if label != "" {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle" fill="%s">%s</text>`,
+					x+cellW/2, y+cellH/2+3, text, label)
+			}
+		}
+	}
+	// Row and column labels.
+	for i, label := range h.YLabels {
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			marginLeft-6, float64(marginTop)+cellH*(float64(i)+0.5)+3, escape(label))
+	}
+	for j, label := range h.XLabels {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			float64(marginLeft)+cellW*(float64(j)+0.5), hgt-marginBottom+14, escape(label))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`,
+		float64(marginLeft)+plotW/2, hgt-8, escape(h.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`,
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(h.YLabel))
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// heatCell maps one value to its fill color, annotation and text color.
+func heatCell(v, max float64) (fill, label, text string) {
+	switch {
+	case math.IsNaN(v):
+		return heatMissing, "", ""
+	case math.IsInf(v, 1):
+		return heatInfinite, "inf", "white"
+	default:
+		frac := v / max
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		r := 0xff + int(frac*float64(heatRampR-0xff))
+		g := 0xff + int(frac*float64(heatRampG-0xff))
+		bl := 0xff + int(frac*float64(heatRampB-0xff))
+		text = "black"
+		if frac > 0.6 {
+			text = "white"
+		}
+		return fmt.Sprintf("#%02x%02x%02x", r, g, bl), formatTick(v), text
+	}
+}

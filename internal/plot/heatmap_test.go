@@ -1,0 +1,55 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapSVGRendersCells(t *testing.T) {
+	svg := Heatmap{
+		Title:   "Redbelly fault surface",
+		XLabel:  "inject time",
+		YLabel:  "fault",
+		XLabels: []string{"40s", "80s"},
+		YLabels: []string{"crash", "slow"},
+		Values: [][]float64{
+			{1.5, 3.0},
+			{math.Inf(1), math.NaN()},
+		},
+	}.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an svg: %q", svg)
+	}
+	for _, want := range []string{"Redbelly fault surface", "crash", "slow", "40s", "80s", ">inf<", heatInfinite, heatMissing} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// 4 value cells drawn.
+	if got := strings.Count(svg, `<rect`) - 1; got != 4 { // minus background
+		t.Fatalf("cells = %d, want 4", got)
+	}
+	// The max finite value saturates to the full ramp color.
+	if !strings.Contains(svg, "#d62728") {
+		t.Fatal("max cell not saturated")
+	}
+}
+
+func TestHeatmapSVGEmpty(t *testing.T) {
+	svg := Heatmap{Title: "empty"}.SVG()
+	if !strings.Contains(svg, "empty") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("svg = %q", svg)
+	}
+}
+
+func TestHeatCellColorRamp(t *testing.T) {
+	fill, label, text := heatCell(0, 10)
+	if fill != "#ffffff" || label != "0.00" || text != "black" {
+		t.Fatalf("zero cell = %s %s %s", fill, label, text)
+	}
+	fill, _, text = heatCell(10, 10)
+	if fill != "#d62728" || text != "white" {
+		t.Fatalf("max cell = %s %s", fill, text)
+	}
+}

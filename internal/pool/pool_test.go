@@ -1,0 +1,98 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var ran atomic.Int64
+		out := make([]int, 50)
+		errs := ForEach(context.Background(), len(out), workers, func(i int) error {
+			ran.Add(1)
+			out[i] = i * i
+			return nil
+		})
+		if got := ran.Load(); got != 50 {
+			t.Fatalf("workers=%d ran %d jobs, want 50", workers, got)
+		}
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, err)
+			}
+			if out[i] != i*i {
+				t.Fatalf("workers=%d out[%d] = %d", workers, i, out[i])
+			}
+		}
+	}
+}
+
+func TestForEachKeepsErrorsInIndexOrder(t *testing.T) {
+	errs := ForEach(context.Background(), 10, 4, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i%3 == 0 && (err == nil || !strings.Contains(err.Error(), fmt.Sprintf("job %d", i))) {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+		if i%3 != 0 && err != nil {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+}
+
+func TestForEachIsolatesPanics(t *testing.T) {
+	errs := ForEach(context.Background(), 8, 4, func(i int) error {
+		if i == 5 {
+			panic("EAH mismatch")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(errs[5], &pe) {
+		t.Fatalf("errs[5] = %v, want *PanicError", errs[5])
+	}
+	if pe.Value != "EAH mismatch" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "EAH mismatch") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+	for i, err := range errs {
+		if i != 5 && err != nil {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+}
+
+func TestForEachHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	errs := ForEach(ctx, 20, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran after cancellation", ran.Load())
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if errs := ForEach(context.Background(), 0, 4, nil); len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+}

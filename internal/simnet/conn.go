@@ -88,6 +88,7 @@ type connManager struct {
 	params  ConnParams
 	peers   map[NodeID]bool
 	pairs   map[pairKey]*pairState
+	order   []pairKey // deterministic iteration order; pings sample the shared RNG, so map order would desync runs
 	ticker  *sim.Ticker
 	downs   uint64 // teardown count, for tests
 	reconns uint64 // successful re-establishments, for tests
@@ -111,6 +112,7 @@ func (n *Network) ManageConns(peers []NodeID, params ConnParams) {
 		for _, b := range peers[i+1:] {
 			k := makePair(a, b)
 			cm.pairs[k] = &pairState{key: k, established: true, lastRecvA: now, lastRecvB: now}
+			cm.order = append(cm.order, k)
 		}
 	}
 	cm.ticker = sim.NewTicker(n.sched, cm.params.HeartbeatInterval, cm.tick)
@@ -161,7 +163,8 @@ func (cm *connManager) observeTraffic(from, to NodeID) {
 // tick sends keep-alives and performs idle detection.
 func (cm *connManager) tick() {
 	now := cm.net.sched.Now()
-	for _, st := range cm.pairs {
+	for _, k := range cm.order {
+		st := cm.pairs[k]
 		if !st.established {
 			continue
 		}
@@ -293,7 +296,8 @@ func (cm *connManager) nodeRestarted(id NodeID) {
 	if !cm.peers[id] {
 		return
 	}
-	for _, st := range cm.pairs {
+	for _, k := range cm.order {
+		st := cm.pairs[k]
 		if st.key.a != id && st.key.b != id {
 			continue
 		}

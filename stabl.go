@@ -25,12 +25,14 @@
 package stabl
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"stabl/internal/algorand"
 	"stabl/internal/aptos"
 	"stabl/internal/avalanche"
+	"stabl/internal/campaign"
 	"stabl/internal/chain"
 	"stabl/internal/core"
 	"stabl/internal/redbelly"
@@ -101,8 +103,44 @@ type (
 // Run executes a single experiment run.
 func Run(cfg Config) (*RunResult, error) { return core.Run(cfg) }
 
-// RunSuite executes a multi-seed sensitivity sweep.
+// RunSuite executes a multi-seed sensitivity sweep, fanning the independent
+// runs out over SuiteConfig.Workers goroutines.
 func RunSuite(cfg SuiteConfig) (*SuiteResult, error) { return core.RunSuite(cfg) }
+
+// Chaos-campaign types for systematic fault-space exploration. See the
+// internal/campaign package for field documentation.
+type (
+	// CampaignSpec declares a fault-space sweep: grid dimensions, seeds,
+	// optional random sampling and the shared deployment template.
+	CampaignSpec = campaign.Spec
+	// CampaignOptions configure campaign execution (workers, progress).
+	CampaignOptions = campaign.Options
+	// CampaignResult aggregates a campaign: per-cell outcomes,
+	// cross-seed points, sensitivity surfaces and per-system rankings.
+	CampaignResult = campaign.Result
+	// CampaignCell is the outcome of one executed campaign cell.
+	CampaignCell = campaign.CellResult
+	// CampaignPoint aggregates one fault-space coordinate across seeds.
+	CampaignPoint = campaign.Point
+)
+
+// RunCampaign expands the spec into its fault-space grid and executes every
+// cell on a bounded worker pool against the built-in system registry
+// (opts.Resolve overrides the registry when set). A panicking model run
+// fails its cell, never the campaign.
+func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (*CampaignResult, error) {
+	if opts.Resolve == nil {
+		opts.Resolve = SystemByName
+	}
+	return campaign.Run(ctx, spec, opts)
+}
+
+// ParseCampaignSpec reads a JSON campaign spec (see specs/campaign-*.json).
+func ParseCampaignSpec(r io.Reader) (CampaignSpec, error) { return campaign.ParseSpec(r) }
+
+// ParseFaultKind is the inverse of FaultKind.String, the canonical fault
+// name mapping shared by the CLI and all spec formats.
+func ParseFaultKind(name string) (FaultKind, error) { return core.ParseFaultKind(name) }
 
 // NewReport digests a comparison for machine consumption.
 func NewReport(cmp *Comparison) Report { return core.NewReport(cmp) }

@@ -206,6 +206,46 @@ func TestPaperShape(t *testing.T) {
 	})
 }
 
+// TestTransientRunIsReproducible re-runs a real-model experiment that
+// exercises the retransmission and connection-recovery paths and demands
+// identical results. Both paths consume the shared network RNG, so any
+// map-order iteration between draws makes scores drift run to run
+// (regression: client retries and connection keep-alives did exactly that).
+func TestTransientRunIsReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reproducibility check skipped in -short mode")
+	}
+	cfg := Config{
+		Seed:     7,
+		Duration: 60 * time.Second,
+		Fault: FaultPlan{
+			Kind:      FaultTransient,
+			InjectAt:  20 * time.Second,
+			RecoverAt: 40 * time.Second,
+		},
+	}
+	run := func() *Comparison {
+		sys, err := SystemByName("Algorand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.System = sys
+		cmp, err := Compare(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp
+	}
+	first, second := run(), run()
+	if first.Score != second.Score {
+		t.Fatalf("score not reproducible: %v vs %v", first.Score, second.Score)
+	}
+	if first.Altered.UniqueCommits != second.Altered.UniqueCommits {
+		t.Fatalf("commits not reproducible: %d vs %d",
+			first.Altered.UniqueCommits, second.Altered.UniqueCommits)
+	}
+}
+
 func TestFig1ProducesCurves(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig1 skipped in -short mode")

@@ -1,6 +1,7 @@
 package stabl
 
 import (
+	"fmt"
 	"time"
 
 	"stabl/internal/plot"
@@ -79,4 +80,24 @@ func ThroughputSVG(cmp *Comparison, bucket time.Duration) string {
 		}
 	}
 	return chart.SVG()
+}
+
+// CampaignHeatmapSVG renders one system's campaign outcomes as an
+// inject-time x fault-kind sensitivity heatmap: finite cells shade by mean
+// score, cells that lost liveness or crashed the model render as "inf",
+// unexplored cells stay gray.
+func CampaignHeatmapSVG(res *CampaignResult, system string) string {
+	faults, injects, values := res.HeatmapGrid(system)
+	cols := make([]string, len(injects))
+	for i, sec := range injects {
+		cols[i] = fmt.Sprintf("%gs", sec)
+	}
+	return plot.Heatmap{
+		Title:   system + " fault-space sensitivity",
+		XLabel:  "inject time",
+		YLabel:  "fault",
+		XLabels: cols,
+		YLabels: faults,
+		Values:  values,
+	}.SVG()
 }
