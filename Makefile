@@ -1,0 +1,44 @@
+# STABL reproduction — stdlib-only Go module; no tools beyond the go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race verify figures clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The root package's cross-chain shape tests run ~2 min without the race
+# detector and several times that with it — past go test's default 10 m
+# per-package timeout — so the race targets raise it.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# verify is the one gate to run before committing: compile everything,
+# static checks, then the full suite under the race detector (the parallel
+# suite/campaign sweeps are the only concurrent code paths).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m ./...
+
+# figures regenerates every SVG artifact of the paper into ./out.
+figures:
+	$(GO) run ./cmd/stabl -svg out fig1
+	$(GO) run ./cmd/stabl -svg out fig3a
+	$(GO) run ./cmd/stabl -svg out fig3b
+	$(GO) run ./cmd/stabl -svg out fig3c
+	$(GO) run ./cmd/stabl -svg out fig3d
+	$(GO) run ./cmd/stabl -svg out fig4
+	$(GO) run ./cmd/stabl -svg out fig5
+	$(GO) run ./cmd/stabl -svg out fig6
+
+clean:
+	rm -rf out

@@ -19,16 +19,23 @@
 //	run             one experiment for -system and -fault
 //	campaign        chaos campaign over a fault-space grid (-config spec)
 //
-// Flags select the system, fault, seed and deployment size; see -help.
+// Flags select the system, fault, seed and deployment size, and may come
+// before or after the command (`stabl campaign -config spec.json`); see
+// -help. With -metrics-out (run) or -metrics-dir (campaign), each run also
+// dumps its virtual-time instrumentation — JSONL and CSV interval metrics
+// plus an SVG timeline of latency, commit rate, fault markers and consensus
+// events.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"stabl"
@@ -50,7 +57,7 @@ func run(args []string, out io.Writer) error {
 		clients    = fs.Int("clients", 5, "number of load clients")
 		rate       = fs.Float64("rate", 40, "per-client send rate (tx/s)")
 		system     = fs.String("system", "Redbelly", "system for the run command")
-		fault      = fs.String("fault", "none", "fault for the run command: none|crash|transient|partition|secure-client")
+		fault      = fs.String("fault", "none", "fault for the run command: none|crash|transient|partition|secure-client|slow")
 		inject     = fs.Duration("inject", 133*time.Second, "fault injection time")
 		recover    = fs.Duration("recover", 266*time.Second, "fault recovery time")
 		bucket     = fs.Duration("bucket", 20*time.Second, "throughput rendering bucket")
@@ -58,6 +65,10 @@ func run(args []string, out io.Writer) error {
 		configPath = fs.String("config", "", "JSON experiment spec for the run command, campaign spec for the campaign command (overrides other flags)")
 		jsonOut    = fs.Bool("json", false, "print machine-readable JSON instead of text (run, suite and campaign commands)")
 		workers    = fs.Int("workers", 0, "concurrent runs for the suite and campaign commands (0 = GOMAXPROCS)")
+
+		metricsOut      = fs.String("metrics-out", "", "write the altered run's metrics (JSONL, CSV, SVG timeline) into this directory (run command)")
+		metricsDir      = fs.String("metrics-dir", "", "write per-cell metrics dumps and timelines into this directory (campaign command)")
+		metricsInterval = fs.Duration("metrics-interval", 5*time.Second, "aggregation interval for -metrics-out and -metrics-dir")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -185,9 +196,26 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, cell)
 			}
 		}
+		var metricsMu sync.Mutex
+		var metricsErr error
+		if *metricsDir != "" {
+			opts.MetricsInterval = *metricsInterval
+			opts.Metrics = func(cell stabl.CampaignCoord, rec *stabl.MetricsRecorder) {
+				title := fmt.Sprintf("%s %s f=%d seed=%d", cell.System, cell.Fault, cell.Count, cell.Seed)
+				err := writeMetrics(*metricsDir, cell.Slug(), rec, title)
+				metricsMu.Lock()
+				if metricsErr == nil && err != nil {
+					metricsErr = err
+				}
+				metricsMu.Unlock()
+			}
+		}
 		res, err := stabl.RunCampaign(context.Background(), spec, opts)
 		if err != nil {
 			return err
+		}
+		if metricsErr != nil {
+			return metricsErr
 		}
 		for _, sys := range res.Systems {
 			svg := stabl.CampaignHeatmapSVG(res, sys.System)
@@ -226,20 +254,61 @@ func run(args []string, out io.Writer) error {
 			cfg.System = sys
 			cfg.Fault.Kind = kind
 		}
+		var rec *stabl.MetricsRecorder
+		if *metricsOut != "" {
+			rec = stabl.NewMetricsRecorder(*metricsInterval)
+			cfg.Metrics = rec
+		}
 		cmp, err := stabl.Compare(cfg)
 		if err != nil {
 			return err
+		}
+		if rec != nil {
+			base := fmt.Sprintf("run-%s-%s", cmp.System, cmp.Fault.Kind)
+			title := fmt.Sprintf("%s under %s", cmp.System, cmp.Fault.Kind)
+			if err := writeMetrics(*metricsOut, base, rec, title); err != nil {
+				return err
+			}
 		}
 		if *jsonOut {
 			return stabl.NewReport(cmp).WriteJSON(out)
 		}
 		fmt.Fprintln(out, cmp)
 		fmt.Fprint(out, stabl.RenderThroughput(cmp, *bucket))
-		return writeSVG(*svgDir, fmt.Sprintf("run-%s-%s.svg", *system, *fault), stabl.ThroughputSVG(cmp, 5*time.Second))
+		return writeSVG(*svgDir, fmt.Sprintf("run-%s-%s.svg", cmp.System, cmp.Fault.Kind), stabl.ThroughputSVG(cmp, 5*time.Second))
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// writeMetrics dumps one recorded run into dir as <base>.metrics.jsonl,
+// <base>.metrics.csv and <base>.timeline.svg.
+func writeMetrics(dir, base string, rec *stabl.MetricsRecorder, title string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var jsonl, csv bytes.Buffer
+	if err := rec.WriteJSONL(&jsonl); err != nil {
+		return err
+	}
+	if err := rec.WriteCSV(&csv); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		data []byte
+	}{
+		{base + ".metrics.jsonl", jsonl.Bytes()},
+		{base + ".metrics.csv", csv.Bytes()},
+		{base + ".timeline.svg", []byte(stabl.TimelineSVG(rec, title))},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeSVG writes an SVG document into dir (no-op when dir is empty).

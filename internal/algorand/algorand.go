@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/metrics"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
@@ -385,6 +386,7 @@ func (v *validator) enterRound(round int) {
 	if v.roundTimer != nil {
 		v.roundTimer.Stop()
 	}
+	v.base.Consensus(metrics.EventRoundStart, round, v.Proposer(round), "")
 	if v.rank(round, v.base.ID) >= 0 {
 		v.propose(round)
 	}
@@ -489,6 +491,7 @@ func (v *validator) commitRound(round int, proposer simnet.NodeID) {
 		return
 	}
 	v.committed[round] = true
+	v.base.Consensus(metrics.EventCommit, round, proposer, "")
 	v.base.SubmitBlock(chain.Block{
 		Height:    prop.Height,
 		Proposer:  prop.Proposer,
@@ -516,6 +519,7 @@ func (v *validator) onFilterStep(round int) {
 			// falls back to a lower rank through an extra vote step,
 			// and Dynamic Round Time marks the round slow (§4).
 			v.slowRound()
+			v.base.Consensus(metrics.EventLeaderChange, round, prop.Proposer, "sortition winner silent, falling back")
 			v.roundTimer = v.ctx.After(v.cfg.FallbackGrace, func() {
 				if round != v.round || v.committed[round] {
 					return
@@ -558,6 +562,7 @@ func (v *validator) onRoundStuck(round int) {
 	if round != v.round || v.committed[round] {
 		return
 	}
+	v.base.Consensus(metrics.EventTimeout, round, v.Proposer(round), "round stuck")
 	msg := nextMsg{Round: round, Voter: v.base.ID}
 	v.ctx.Broadcast(v.base.Peers, msg)
 	v.roundTimer = v.ctx.After(v.filterTO+v.cfg.CertTimeout, func() { v.onRoundStuck(round) })

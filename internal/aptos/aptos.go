@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/metrics"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
@@ -301,6 +302,7 @@ func (v *validator) enterRound(round int, delay time.Duration) {
 	if v.roundTimer != nil {
 		v.roundTimer.Stop()
 	}
+	v.base.Consensus(metrics.EventRoundStart, round, v.leader(round), "")
 	v.roundTimer = v.ctx.After(delay+v.timeout(), func() { v.onLocalTimeout(round) })
 	if v.leader(round) == v.base.ID {
 		v.ctx.After(delay, func() { v.propose(round) })
@@ -384,6 +386,7 @@ func (v *validator) onCommit(msg commitMsg) {
 }
 
 func (v *validator) handleCommit(msg commitMsg) {
+	v.base.Consensus(metrics.EventCommit, msg.Round, msg.Block.Proposer, "")
 	v.base.SubmitBlock(msg.Block)
 	if msg.Round < v.round {
 		return
@@ -396,6 +399,7 @@ func (v *validator) onLocalTimeout(round int) {
 	if round != v.round {
 		return
 	}
+	v.base.Consensus(metrics.EventTimeout, round, v.leader(round), "pacemaker timeout")
 	msg := timeoutMsg{Round: round, Voter: v.base.ID}
 	v.ctx.Broadcast(v.base.Peers, msg)
 	// Keep the pacemaker alive: re-arm so the timeout is re-broadcast
@@ -429,6 +433,7 @@ func (v *validator) onTimeout(msg timeoutMsg) {
 // timeout and the quadratic view-change processing delay.
 func (v *validator) viewChange(round int) {
 	failed := v.leader(round)
+	v.base.Consensus(metrics.EventLeaderChange, round, failed, "view change away from failed leader")
 	v.failCount[failed]++
 	if v.failCount[failed] >= v.cfg.FailThreshold {
 		v.excludedAt[failed] = round

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/metrics"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
@@ -503,6 +504,7 @@ func (v *validator) startInstance(prop *proposalMsg) {
 		return // already running on some preference for this height
 	}
 	v.inst = &instance{height: prop.Height, pref: prop}
+	v.base.Consensus(metrics.EventRoundStart, prop.Height, prop.Proposer, "")
 }
 
 // Snowball sampling --------------------------------------------------------
@@ -619,6 +621,9 @@ func (v *validator) closeRound(inst *instance, seq uint64) {
 		return
 	}
 	inst.roundOpen = false
+	if inst.positives < v.cfg.Alpha {
+		v.base.Consensus(metrics.EventTimeout, inst.height, inst.pref.Proposer, "inconclusive poll")
+	}
 	if inst.positives >= v.cfg.Alpha {
 		inst.confidence++
 		if inst.confidence >= v.cfg.Beta {
@@ -637,6 +642,9 @@ func (v *validator) closeRound(inst *instance, seq uint64) {
 	for slot, count := range inst.flips {
 		if count >= v.cfg.Alpha {
 			if p, ok := v.proposals[inst.height]; ok && p.Slot == slot {
+				if p.Proposer != inst.pref.Proposer {
+					v.base.Consensus(metrics.EventLeaderChange, inst.height, p.Proposer, "preference flip")
+				}
 				inst.pref = p
 			}
 			break
@@ -649,6 +657,7 @@ func (v *validator) closeRound(inst *instance, seq uint64) {
 }
 
 func (v *validator) accept(b chain.Block) {
+	v.base.Consensus(metrics.EventCommit, b.Height, b.Proposer, "")
 	v.base.SubmitBlock(b)
 	delete(v.proposals, b.Height)
 	tip := v.base.ChainTip()

@@ -8,6 +8,7 @@ import (
 
 	"stabl/internal/chain"
 	"stabl/internal/core"
+	"stabl/internal/metrics"
 	"stabl/internal/pool"
 )
 
@@ -25,6 +26,17 @@ type Options struct {
 	// worker goroutines but never concurrently. done counts completed
 	// cells, total is the campaign size.
 	Progress func(done, total int, res *CellResult)
+	// Metrics, when set, attaches a fresh metrics.Recorder to every
+	// cell's altered run and hands it over once the cell completes
+	// without error. Called from worker goroutines, possibly
+	// concurrently — the callback must be safe for concurrent use
+	// (writing one file per Cell.Slug is). Each cell gets its own
+	// recorder, so per-cell output stays byte-identical at any worker
+	// count.
+	Metrics func(cell Cell, rec *metrics.Recorder)
+	// MetricsInterval is the recorders' aggregation interval;
+	// metrics.DefaultInterval when zero.
+	MetricsInterval time.Duration
 }
 
 // Run expands the spec and executes every cell on the worker pool. A cell
@@ -54,7 +66,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	var mu sync.Mutex
 	done := 0
 	errs := pool.ForEach(ctx, len(cells), opts.Workers, func(i int) error {
-		res := runCell(spec, cells[i], opts.Resolve, baselines)
+		res := runCell(spec, cells[i], opts, baselines)
 		results[i] = res
 		if opts.Progress != nil {
 			mu.Lock()
@@ -78,7 +90,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 // runCell executes one cell: materialize its config, fetch (or compute) the
 // shared baseline, run the altered environment and digest the comparison.
 // Any panic inside the model run fails only this cell.
-func runCell(spec Spec, cell Cell, resolve func(string) (chain.System, error), baselines *baselineCache) (res *CellResult) {
+func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res *CellResult) {
 	res = &CellResult{Cell: cell}
 	defer func() {
 		if v := recover(); v != nil {
@@ -96,10 +108,15 @@ func runCell(spec Spec, cell Cell, resolve func(string) (chain.System, error), b
 		RecoverSec: cell.InjectSec + cell.OutageSec,
 		SlowBySec:  cell.SlowBySec,
 	}
-	cfg, err := cellSpec.Config(resolve)
+	cfg, err := cellSpec.Config(opts.Resolve)
 	if err != nil {
 		res.Error = err.Error()
 		return res
+	}
+	var rec *metrics.Recorder
+	if opts.Metrics != nil {
+		rec = metrics.NewRecorder(opts.MetricsInterval)
+		cfg.Metrics = rec
 	}
 
 	baseline, err := baselines.get(cell.System, cell.Seed, cfg)
@@ -128,6 +145,9 @@ func runCell(spec Spec, cell Cell, resolve func(string) (chain.System, error), b
 			inject, ref, core.RecoveryFraction, core.RecoveryWindow)
 		res.Stabilized = ok
 		res.StabilizationSec = stab.Seconds()
+	}
+	if rec != nil {
+		opts.Metrics(cell, rec)
 	}
 	return res
 }

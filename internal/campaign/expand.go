@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"stabl/internal/chain"
 	"stabl/internal/core"
@@ -32,6 +33,14 @@ func (c Cell) Key() string {
 
 // String renders the full cell coordinate.
 func (c Cell) String() string { return fmt.Sprintf("%s seed=%d", c.Key(), c.Seed) }
+
+// Slug renders the full cell coordinate as a filesystem-safe unique name,
+// used for per-cell metrics dumps.
+func (c Cell) Slug() string {
+	return fmt.Sprintf("%s-%s-f%d-i%gs-o%gs-d%gs-seed%d",
+		strings.ToLower(c.System), c.Fault, c.Count,
+		c.InjectSec, c.OutageSec, c.SlowBySec, c.Seed)
+}
 
 // expand materializes the spec's grid: systems × faults × counts × inject
 // times × outages × slow-bys × seeds, with inapplicable dimensions collapsed

@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"stabl/internal/metrics"
+)
+
+// TestCampaignMetricsIdenticalAcrossWorkers is the golden determinism check
+// of the observability layer: every cell's metrics dump must be
+// byte-identical whether the campaign ran on one worker or eight.
+func TestCampaignMetricsIdenticalAcrossWorkers(t *testing.T) {
+	collect := func(workers int) map[string][]byte {
+		t.Helper()
+		dumps := make(map[string][]byte)
+		var mu sync.Mutex
+		res, err := Run(context.Background(), fastSpec(), Options{
+			Workers: workers,
+			Resolve: resolveStubs,
+			Metrics: func(cell Cell, rec *metrics.Recorder) {
+				var buf bytes.Buffer
+				if err := rec.WriteJSONL(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := rec.WriteCSV(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				buf.WriteString(metrics.TimelineSVG(rec, cell.Slug()))
+				mu.Lock()
+				dumps[cell.Slug()] = buf.Bytes()
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FailedCells != 0 {
+			t.Fatalf("failed cells = %d", res.FailedCells)
+		}
+		return dumps
+	}
+
+	sequential := collect(1)
+	parallel := collect(8)
+	if len(sequential) != 8 {
+		t.Fatalf("dumps = %d, want one per cell (8)", len(sequential))
+	}
+	if len(parallel) != len(sequential) {
+		t.Fatalf("workers=8 produced %d dumps, workers=1 produced %d", len(parallel), len(sequential))
+	}
+	for slug, seq := range sequential {
+		par, ok := parallel[slug]
+		if !ok {
+			t.Errorf("cell %s missing from workers=8 dumps", slug)
+			continue
+		}
+		if !bytes.Equal(seq, par) {
+			t.Errorf("cell %s metrics diverged between workers=1 and workers=8", slug)
+		}
+	}
+}
+
+// TestCampaignMetricsDoNotChangeScores verifies that attaching recorders is
+// pure observation: the campaign result itself must stay byte-identical.
+func TestCampaignMetricsDoNotChangeScores(t *testing.T) {
+	encode := func(opts Options) []byte {
+		t.Helper()
+		opts.Workers = 4
+		opts.Resolve = resolveStubs
+		res, err := Run(context.Background(), fastSpec(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := encode(Options{})
+	instrumented := encode(Options{Metrics: func(Cell, *metrics.Recorder) {}})
+	if !bytes.Equal(plain, instrumented) {
+		t.Fatalf("attaching metrics recorders changed the campaign result:\n%s\nvs\n%s", instrumented, plain)
+	}
+}
+
+func TestCellSlug(t *testing.T) {
+	c := Cell{System: "Redbelly", Fault: "transient", Count: 4,
+		InjectSec: 133, OutageSec: 10.5, Seed: 42}
+	want := "redbelly-transient-f4-i133s-o10.5s-d0s-seed42"
+	if got := c.Slug(); got != want {
+		t.Fatalf("slug = %q, want %q", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"stabl/internal/metrics"
 	"stabl/internal/simnet"
 )
 
@@ -104,6 +105,24 @@ func NewBaseNode(id simnet.NodeID, peers []simnet.NodeID, monitor *Monitor, cfg 
 
 // Ctx returns the node's current simnet context (valid while running).
 func (n *BaseNode) Ctx() *simnet.Context { return n.ctx }
+
+// Consensus reports a protocol-level event (round start, commit, timeout,
+// leader change) to the experiment's metrics recorder, stamped with the
+// node's identity and the current virtual time. It is a no-op without an
+// attached recorder, so instrumentation costs the chain models one call.
+func (n *BaseNode) Consensus(kind metrics.EventKind, round int, leader simnet.NodeID, detail string) {
+	if n.Monitor == nil || n.Monitor.Metrics() == nil || n.ctx == nil {
+		return
+	}
+	n.Monitor.ConsensusEvent(metrics.Event{
+		At:     n.ctx.Now(),
+		Kind:   kind,
+		Node:   n.ID,
+		Round:  round,
+		Leader: leader,
+		Detail: detail,
+	})
+}
 
 // Config returns the node's base configuration.
 func (n *BaseNode) Config() BaseConfig { return n.cfg }

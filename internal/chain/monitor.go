@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"stabl/internal/metrics"
 	"stabl/internal/simnet"
 )
 
@@ -27,11 +28,28 @@ type Monitor struct {
 	haveBlock  bool
 	lastHash   Hash
 	integrity  []string
+	rec        *metrics.Recorder
 }
 
 // NewMonitor creates an empty monitor.
 func NewMonitor() *Monitor {
 	return &Monitor{seen: make(map[TxID]bool), maxHeight: -1}
+}
+
+// SetMetrics attaches a metrics recorder: unique commits become counters
+// and latency observations, and consensus events flow through
+// ConsensusEvent. A nil recorder (the default) makes both no-ops.
+func (m *Monitor) SetMetrics(rec *metrics.Recorder) { m.rec = rec }
+
+// Metrics returns the attached recorder, if any.
+func (m *Monitor) Metrics() *metrics.Recorder { return m.rec }
+
+// ConsensusEvent forwards a protocol event from a validator to the attached
+// recorder; it is the single funnel every chain model emits through.
+func (m *Monitor) ConsensusEvent(ev metrics.Event) {
+	if m.rec != nil {
+		m.rec.AddEvent(ev)
+	}
 }
 
 // RecordBlock registers a block applied by a validator. Blocks already seen
@@ -49,6 +67,9 @@ func (m *Monitor) RecordBlock(_ simnet.NodeID, b Block, now time.Duration) {
 	m.lastHash = HashBlock(b)
 	m.maxHeight = b.Height
 	m.haveBlock = true
+	if m.rec != nil {
+		m.rec.Count(now, "blocks_committed", 1)
+	}
 	for _, tx := range b.Txs {
 		if m.seen[tx.ID] {
 			continue
@@ -56,6 +77,10 @@ func (m *Monitor) RecordBlock(_ simnet.NodeID, b Block, now time.Duration) {
 		m.seen[tx.ID] = true
 		m.commits = append(m.commits, CommitEvent{ID: tx.ID, Submitted: tx.Submitted, Committed: now})
 		m.lastCommit = now
+		if m.rec != nil {
+			m.rec.Count(now, "tx_committed", 1)
+			m.rec.Observe(now, "commit_latency", (now - tx.Submitted).Seconds())
+		}
 	}
 }
 

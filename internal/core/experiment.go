@@ -11,6 +11,7 @@ import (
 
 	"stabl/internal/chain"
 	"stabl/internal/client"
+	"stabl/internal/metrics"
 	"stabl/internal/observer"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
@@ -112,6 +113,13 @@ type Config struct {
 	// event (crashes, reboots, partitions, connection churn) — the
 	// transitions that decide an experiment's outcome.
 	TraceWriter io.Writer
+	// Metrics, when set, records the run's virtual-time instrumentation:
+	// commit counters and latencies, periodic mempool/backlog gauges,
+	// consensus events from the chain model and the network trace. One
+	// recorder instruments exactly one run — Compare attaches it to the
+	// altered run only, and BaselineConfig clears it. Recording draws no
+	// randomness, so it never changes what the run measures.
+	Metrics *metrics.Recorder
 	// LivenessGrace: if the altered run's last commit is older than this
 	// at the end of the experiment, liveness was lost and the
 	// sensitivity is infinite.
@@ -270,10 +278,25 @@ func Run(cfg Config) (*RunResult, error) {
 
 	sched := sim.New(cfg.Seed)
 	net := simnet.New(sched, simnet.Config{Latency: cfg.Latency})
+	rec := cfg.Metrics
+	var tracers []simnet.Tracer
 	if cfg.TraceWriter != nil {
-		net.SetTracer(simnet.WriterTracer(cfg.TraceWriter))
+		tracers = append(tracers, simnet.WriterTracer(cfg.TraceWriter))
+	}
+	if rec != nil {
+		tracers = append(tracers, rec.Tracer())
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		net.SetTracer(tracers[0])
+	default:
+		net.SetTracer(simnet.MultiTracer(tracers...))
 	}
 	monitor := chain.NewMonitor()
+	if rec != nil {
+		monitor.SetMetrics(rec)
+	}
 
 	// Validators.
 	peers := make([]simnet.NodeID, cfg.Validators)
@@ -281,8 +304,13 @@ func Run(cfg Config) (*RunResult, error) {
 		peers[i] = simnet.NodeID(i)
 	}
 	genesis := genesisAccounts(cfg)
+	var bases []*chain.BaseNode
 	for _, id := range peers {
-		net.AddNode(id, cfg.System.NewValidator(id, peers, monitor, genesis))
+		h := cfg.System.NewValidator(id, peers, monitor, genesis)
+		if b, ok := h.(interface{ Base() *chain.BaseNode }); ok {
+			bases = append(bases, b.Base())
+		}
+		net.AddNode(id, h)
 	}
 	net.ManageConns(peers, cfg.System.ConnParams())
 
@@ -339,6 +367,30 @@ func Run(cfg Config) (*RunResult, error) {
 		}
 	}
 
+	if rec != nil {
+		cfg.describeRun(rec, faulty)
+		// Periodic gauge sampling: chain-side backlog (mempool depth),
+		// client-side backlog (in-flight submissions) and chain height.
+		// The sampler only reads state — no messages, no RNG — so the
+		// simulation unfolds identically with or without it.
+		for t := time.Duration(0); t < cfg.Duration; t += rec.Interval() {
+			sched.At(t, func() {
+				now := sched.Now()
+				depth := 0
+				for _, b := range bases {
+					depth += b.Pool.Len()
+				}
+				pending := 0
+				for _, cl := range clients {
+					pending += cl.PendingCount()
+				}
+				rec.Gauge(now, "mempool_depth", float64(depth))
+				rec.Gauge(now, "client_pending", float64(pending))
+				rec.Gauge(now, "chain_height", float64(monitor.MaxHeight()))
+			})
+		}
+	}
+
 	net.StartAll()
 	sched.RunUntil(cfg.Duration)
 
@@ -369,6 +421,39 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	res.LivenessLost = res.LastCommitAt < cfg.Duration-cfg.LivenessGrace
 	return res, nil
+}
+
+// describeRun stamps the recorder with the run's identity and annotates the
+// timeline with the fault plan's inject/recover instants.
+func (c Config) describeRun(rec *metrics.Recorder, faulty []simnet.NodeID) {
+	info := metrics.RunInfo{
+		System:     c.System.Name(),
+		Seed:       c.Seed,
+		Fault:      c.Fault.Kind.String(),
+		Validators: c.Validators,
+		Clients:    c.Clients,
+		Duration:   c.Duration,
+	}
+	if c.Fault.Kind.NeedsNodes() {
+		info.InjectAt = c.Fault.InjectAt
+	}
+	if c.Fault.Kind.Recovers() {
+		info.RecoverAt = c.Fault.RecoverAt
+	}
+	rec.SetRun(info)
+	if c.Fault.Kind.NeedsNodes() {
+		detail := fmt.Sprintf("%s f=%d", c.Fault.Kind, len(faulty))
+		rec.AddEvent(metrics.Event{
+			At: c.Fault.InjectAt, Kind: metrics.EventFaultInject,
+			Node: -1, Round: -1, Leader: -1, Detail: detail,
+		})
+		if c.Fault.Kind.Recovers() {
+			rec.AddEvent(metrics.Event{
+				At: c.Fault.RecoverAt, Kind: metrics.EventFaultRecover,
+				Node: -1, Round: -1, Leader: -1, Detail: detail,
+			})
+		}
+	}
 }
 
 // genesisAccounts funds every workload account generously so transfers never

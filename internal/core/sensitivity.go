@@ -60,6 +60,9 @@ func BaselineConfig(cfg Config) Config {
 	cfg = cfg.withDefaults()
 	cfg.Fault = FaultPlan{Kind: FaultNone}
 	cfg.Fanout = 1
+	// A recorder instruments one run; the altered run keeps it, the
+	// baseline must not write into the same one.
+	cfg.Metrics = nil
 	return cfg
 }
 

@@ -135,7 +135,19 @@ func ParseFaultKind(name string) (FaultKind, error) {
 			return kind, nil
 		}
 	}
-	return FaultNone, fmt.Errorf("core: unknown fault kind %q", name)
+	return FaultNone, fmt.Errorf("core: unknown fault kind %q (valid: %s)", name, faultKindNames())
+}
+
+// faultKindNames renders every valid fault kind as a "a|b|c" list.
+func faultKindNames() string {
+	names := ""
+	for i, kind := range FaultKinds() {
+		if i > 0 {
+			names += "|"
+		}
+		names += kind.String()
+	}
+	return names
 }
 
 func (p ProfileSpec) build() (workload.Profile, error) {

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonRun heads the JSONL dump.
+type jsonRun struct {
+	Type        string  `json:"type"`
+	System      string  `json:"system,omitempty"`
+	Seed        int64   `json:"seed"`
+	Fault       string  `json:"fault,omitempty"`
+	Validators  int     `json:"validators"`
+	Clients     int     `json:"clients"`
+	InjectSec   float64 `json:"injectSec,omitempty"`
+	RecoverSec  float64 `json:"recoverSec,omitempty"`
+	DurationSec float64 `json:"durationSec"`
+	IntervalSec float64 `json:"intervalSec"`
+}
+
+type jsonTotal struct {
+	Type  string  `json:"type"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type jsonInterval struct {
+	Type     string              `json:"type"`
+	Index    int                 `json:"index"`
+	StartSec float64             `json:"startSec"`
+	Counters map[string]float64  `json:"counters,omitempty"`
+	Gauges   map[string]float64  `json:"gauges,omitempty"`
+	Obs      map[string]ObsStats `json:"obs,omitempty"`
+	Events   map[string]int      `json:"events,omitempty"`
+}
+
+type jsonTimeline struct {
+	Type   string  `json:"type"`
+	TSec   float64 `json:"tSec"`
+	Source string  `json:"source"`
+	Kind   string  `json:"kind"`
+	Node   int     `json:"node"`
+	Peer   int     `json:"peer"`
+	Round  int     `json:"round"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// WriteJSONL dumps the run as JSON Lines: one run header, the counter
+// totals, one line per interval row and one line per timeline entry.
+// Objects keep their maps — encoding/json sorts map keys — and every
+// sequence follows a deterministic order, so the dump is byte-identical
+// across repeated runs of the same seed.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	info := r.run
+	if err := enc.Encode(jsonRun{
+		Type:        "run",
+		System:      info.System,
+		Seed:        info.Seed,
+		Fault:       info.Fault,
+		Validators:  info.Validators,
+		Clients:     info.Clients,
+		InjectSec:   info.InjectAt.Seconds(),
+		RecoverSec:  info.RecoverAt.Seconds(),
+		DurationSec: info.Duration.Seconds(),
+		IntervalSec: r.interval.Seconds(),
+	}); err != nil {
+		return err
+	}
+	for _, name := range r.CounterNames() {
+		if err := enc.Encode(jsonTotal{Type: "total", Name: name, Value: r.CounterTotal(name)}); err != nil {
+			return err
+		}
+	}
+	for _, row := range r.Intervals() {
+		if err := enc.Encode(jsonInterval{
+			Type:     "interval",
+			Index:    row.Index,
+			StartSec: row.Start.Seconds(),
+			Counters: row.Counters,
+			Gauges:   row.Gauges,
+			Obs:      row.Obs,
+			Events:   row.Events,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Timeline() {
+		if err := enc.Encode(jsonTimeline{
+			Type:   "timeline",
+			TSec:   e.At.Seconds(),
+			Source: e.Source,
+			Kind:   e.Kind,
+			Node:   int(e.Node),
+			Peer:   int(e.Peer),
+			Round:  e.Round,
+			Detail: e.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps the interval rows as CSV: one row per interval, columns
+// sorted by metric name (counters, then gauges, then observation
+// count/mean/min/max, then the consensus event kinds). Deterministic for a
+// deterministic run.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	counters := r.CounterNames()
+	gauges := r.GaugeNames()
+	obs := r.ObsNames()
+	kinds := []EventKind{
+		EventRoundStart, EventCommit, EventTimeout,
+		EventLeaderChange, EventFaultInject, EventFaultRecover,
+	}
+
+	header := []string{"interval", "start_sec"}
+	header = append(header, counters...)
+	header = append(header, gauges...)
+	for _, name := range obs {
+		header = append(header,
+			name+"_count", name+"_mean", name+"_min", name+"_max")
+	}
+	for _, k := range kinds {
+		header = append(header, "events_"+k.String())
+	}
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Intervals() {
+		rec := []string{
+			strconv.Itoa(row.Index),
+			formatFloat(row.Start.Seconds()),
+		}
+		for _, name := range counters {
+			rec = append(rec, formatFloat(row.Counters[name]))
+		}
+		for _, name := range gauges {
+			rec = append(rec, formatFloat(row.Gauges[name]))
+		}
+		for _, name := range obs {
+			st := row.Obs[name]
+			rec = append(rec, strconv.Itoa(st.Count),
+				formatFloat(st.Mean), formatFloat(st.Min), formatFloat(st.Max))
+		}
+		for _, k := range kinds {
+			rec = append(rec, strconv.Itoa(row.Events[k.String()]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

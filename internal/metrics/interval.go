@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// ObsStats summarizes one interval of a named observation stream.
+type ObsStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// IntervalRow is one fixed-width slice of the run: counter sums, last gauge
+// values (carried forward through empty intervals), observation summaries
+// and per-kind consensus event counts. Start is the interval's inclusive
+// left edge; a sample at exactly Start belongs to this row, so an event at
+// k*interval lands in row k. Samples at or past the end of the run clamp
+// into the final row.
+type IntervalRow struct {
+	Index    int
+	Start    time.Duration
+	Counters map[string]float64
+	Gauges   map[string]float64
+	Obs      map[string]ObsStats
+	Events   map[string]int
+}
+
+// Intervals aggregates the raw streams into rows covering [0, Duration).
+// With no run duration set, the rows extend to the latest recorded sample;
+// a recorder with no data yields no rows. The output depends only on what
+// was recorded, never on map iteration order.
+func (r *Recorder) Intervals() []IntervalRow {
+	n := r.intervalCount()
+	if n == 0 {
+		return nil
+	}
+	rows := make([]IntervalRow, n)
+	for i := range rows {
+		rows[i] = IntervalRow{
+			Index:    i,
+			Start:    time.Duration(i) * r.interval,
+			Counters: make(map[string]float64),
+			Gauges:   make(map[string]float64),
+			Obs:      make(map[string]ObsStats),
+			Events:   make(map[string]int),
+		}
+	}
+	slot := func(at time.Duration) int {
+		if at < 0 {
+			return 0
+		}
+		i := int(at / r.interval)
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+
+	for _, name := range sortedKeys(r.counters) {
+		for _, s := range r.counters[name] {
+			rows[slot(s.At)].Counters[name] += s.Value
+		}
+	}
+	// Gauges: the last sample of an interval wins; intervals without a
+	// sample inherit the previous interval's level — a node halted for a
+	// whole interval still shows its last known depth, not zero.
+	for _, name := range sortedKeys(r.gauges) {
+		last := make([]*float64, n)
+		for _, s := range r.gauges[name] {
+			v := s.Value
+			last[slot(s.At)] = &v
+		}
+		carry := 0.0
+		for i := range rows {
+			if last[i] != nil {
+				carry = *last[i]
+			}
+			rows[i].Gauges[name] = carry
+		}
+	}
+	for _, name := range sortedKeys(r.obs) {
+		for _, s := range r.obs[name] {
+			row := &rows[slot(s.At)]
+			st := row.Obs[name]
+			if st.Count == 0 || s.Value < st.Min {
+				st.Min = s.Value
+			}
+			if st.Count == 0 || s.Value > st.Max {
+				st.Max = s.Value
+			}
+			st.Mean = (st.Mean*float64(st.Count) + s.Value) / float64(st.Count+1)
+			st.Count++
+			row.Obs[name] = st
+		}
+	}
+	for _, ev := range r.events {
+		rows[slot(ev.At)].Events[ev.Kind.String()]++
+	}
+	return rows
+}
+
+// intervalCount is ceil(Duration/interval), or enough intervals to cover
+// the latest sample when no duration was set.
+func (r *Recorder) intervalCount() int {
+	d := r.run.Duration
+	if d > 0 {
+		return int((d + r.interval - 1) / r.interval)
+	}
+	max := time.Duration(-1)
+	for _, samples := range r.counters {
+		max = maxSampleAt(max, samples)
+	}
+	for _, samples := range r.gauges {
+		max = maxSampleAt(max, samples)
+	}
+	for _, samples := range r.obs {
+		max = maxSampleAt(max, samples)
+	}
+	for _, ev := range r.events {
+		if ev.At > max {
+			max = ev.At
+		}
+	}
+	if max < 0 {
+		return 0
+	}
+	return int(max/r.interval) + 1
+}
+
+func maxSampleAt(max time.Duration, samples []Sample) time.Duration {
+	for _, s := range samples {
+		if s.At > max {
+			max = s.At
+		}
+	}
+	return max
+}
+
+// CounterNames, GaugeNames and ObsNames return the recorded metric names in
+// sorted order — the column order of every export.
+func (r *Recorder) CounterNames() []string { return sortedKeys(r.counters) }
+
+// GaugeNames returns the recorded gauge names in sorted order.
+func (r *Recorder) GaugeNames() []string { return sortedKeys(r.gauges) }
+
+// ObsNames returns the recorded observation names in sorted order.
+func (r *Recorder) ObsNames() []string { return sortedKeys(r.obs) }
+
+func sortedKeys(m map[string][]Sample) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+
+	"stabl/internal/plot"
+	"stabl/internal/simnet"
+)
+
+// TimelineSVG renders the run as a timeline chart: mean commit latency per
+// interval (with the interval commit rate as a second series), dashed
+// vertical markers at fault injection/recovery, and event lanes for leader
+// changes, timeouts and node halts/reboots. Lane markers are deduplicated
+// per (kind, round, leader) so ten validators observing one view change
+// draw one tick. Deterministic for a deterministic run.
+func TimelineSVG(r *Recorder, title string) string {
+	rows := r.Intervals()
+	intervalSec := r.interval.Seconds()
+	latency := plot.Series{Name: "commit latency (s, mean)"}
+	rate := plot.Series{Name: "commits/s", Dashed: true, Color: "#7f7f7f"}
+	for _, row := range rows {
+		x := row.Start.Seconds() + intervalSec/2
+		if st, ok := row.Obs["commit_latency"]; ok && st.Count > 0 {
+			latency.Points = append(latency.Points, plot.Point{X: x, Y: st.Mean})
+		}
+		rate.Points = append(rate.Points, plot.Point{X: x, Y: row.Counters["tx_committed"] / intervalSec})
+	}
+
+	chart := plot.Chart{
+		Title:  title,
+		XLabel: "virtual time (s)",
+		YLabel: "commit latency (s) / commits/s",
+		Width:  860,
+		Height: 420,
+		Series: []plot.Series{latency, rate},
+		Lanes: []plot.Lane{
+			{Name: "leader", Color: "#9467bd", Xs: dedupEventXs(r.Events(), EventLeaderChange)},
+			{Name: "timeout", Color: "#ff7f0e", Xs: dedupEventXs(r.Events(), EventTimeout)},
+			{Name: "net", Color: "#d62728", Xs: traceXs(r.Trace())},
+		},
+	}
+	for _, ev := range r.Events() {
+		switch ev.Kind {
+		case EventFaultInject:
+			chart.VLines = append(chart.VLines, plot.VLine{X: ev.At.Seconds(), Label: "inject", Color: "#d62728"})
+		case EventFaultRecover:
+			chart.VLines = append(chart.VLines, plot.VLine{X: ev.At.Seconds(), Label: "recover", Color: "#2ca02c"})
+		}
+	}
+	if info := r.Run(); info.Duration > 0 {
+		// Anchor the x-axis to the full run even when commits stop early
+		// (invisible markers at both ends only widen the bounds).
+		chart.VLines = append(chart.VLines,
+			plot.VLine{X: 0, Color: "#ffffff"},
+			plot.VLine{X: info.Duration.Seconds(), Color: "#ffffff"})
+	}
+	return chart.SVG()
+}
+
+// dedupEventXs returns the times of the first event per (round, leader)
+// coordinate of the given kind, in emission order.
+func dedupEventXs(events []Event, kind EventKind) []float64 {
+	seen := make(map[string]bool)
+	var xs []float64
+	for _, ev := range events {
+		if ev.Kind != kind {
+			continue
+		}
+		key := fmt.Sprintf("%d/%d", ev.Round, int(ev.Leader))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		xs = append(xs, ev.At.Seconds())
+	}
+	return xs
+}
+
+// traceXs returns the times of node halts and (re)starts — the lifecycle
+// transitions worth a timeline tick; connection churn would flood the lane.
+func traceXs(trace []simnet.TraceEvent) []float64 {
+	var xs []float64
+	for _, ev := range trace {
+		switch ev.Kind {
+		case simnet.TraceNodeHalt, simnet.TraceNodeStart,
+			simnet.TracePartition, simnet.TraceHeal, simnet.TraceDelay:
+			xs = append(xs, ev.At.Seconds())
+		}
+	}
+	return xs
+}

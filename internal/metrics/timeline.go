@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"stabl/internal/simnet"
+)
+
+// Timeline entry sources.
+const (
+	// SourceProtocol marks an entry emitted by a chain model or the
+	// harness (a consensus Event).
+	SourceProtocol = "protocol"
+	// SourceNet marks an entry captured from the simnet lifecycle trace.
+	SourceNet = "net"
+)
+
+// TimelineEntry is one row of the merged run timeline: either a protocol
+// consensus event or a network lifecycle transition, normalized onto a
+// shared shape.
+type TimelineEntry struct {
+	At     time.Duration
+	Source string
+	Kind   string
+	Node   simnet.NodeID
+	// Peer is the second endpoint of a connection event; for protocol
+	// entries it carries the round's leader (-1 when not applicable).
+	Peer   simnet.NodeID
+	Round  int
+	Detail string
+}
+
+// String renders the entry as one log line.
+func (e TimelineEntry) String() string {
+	extra := ""
+	if e.Source == SourceProtocol && e.Round >= 0 {
+		extra = fmt.Sprintf(" round=%d", e.Round)
+	}
+	return fmt.Sprintf("%8.1fs %-8s %-13s %v%s %s", e.At.Seconds(), e.Source, e.Kind, e.Node, extra, e.Detail)
+}
+
+// Timeline merges the protocol events with the captured network trace into
+// one sequence sorted by virtual time. The sort is stable, so entries that
+// share a timestamp keep their emission order (protocol before net at exact
+// ties only if emitted that way); the result is deterministic for a
+// deterministic run.
+func (r *Recorder) Timeline() []TimelineEntry {
+	out := make([]TimelineEntry, 0, len(r.events)+len(r.trace))
+	for _, ev := range r.events {
+		out = append(out, TimelineEntry{
+			At:     ev.At,
+			Source: SourceProtocol,
+			Kind:   ev.Kind.String(),
+			Node:   ev.Node,
+			Peer:   ev.Leader,
+			Round:  ev.Round,
+			Detail: ev.Detail,
+		})
+	}
+	for _, ev := range r.trace {
+		out = append(out, TimelineEntry{
+			At:     ev.At,
+			Source: SourceNet,
+			Kind:   ev.Kind.String(),
+			Node:   ev.Node,
+			Peer:   ev.Peer,
+			Round:  -1,
+			Detail: ev.Detail,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,7 +1,13 @@
 // Package plot renders STABL figures as standalone SVG documents using only
 // the standard library: step/line charts for eCDFs and throughput series,
-// and bar charts for sensitivity scores. The output is deliberately plain —
-// axes, ticks, a legend — matching what the paper's figures need.
+// bar charts for sensitivity scores, and event-marker lanes for run
+// timelines. The output is deliberately plain — axes, ticks, a legend —
+// matching what the paper's figures need.
+//
+// Rendering is a pure function of the chart value: no randomness, no map
+// iteration, no clock reads, so the same chart always yields the same
+// bytes. Chart values are plain data and safe to build concurrently; a
+// single Chart must not be mutated while SVG runs.
 package plot
 
 import (
@@ -35,8 +41,20 @@ type Chart struct {
 	Series []Series
 	// VLines draws vertical markers (fault injection/recovery instants).
 	VLines []VLine
+	// Lanes draws rows of instant event markers above the plot area
+	// (timeline annotations: leader changes, timeouts, crashes). Lanes
+	// share the x-axis with the series.
+	Lanes []Lane
 	// YMax forces the y-axis ceiling; zero auto-scales.
 	YMax float64
+}
+
+// Lane is one row of instant markers on a timeline chart.
+type Lane struct {
+	Name  string
+	Color string
+	// Xs are the marker positions in x-axis units.
+	Xs []float64
 }
 
 // VLine is a labelled vertical marker.
@@ -67,8 +85,10 @@ func (c Chart) SVG() string {
 	if h <= 0 {
 		h = 360
 	}
+	const laneHeight = 14
+	top := marginTop + laneHeight*len(c.Lanes)
 	plotW := float64(w - marginLeft - marginRight)
-	plotH := float64(h - marginTop - marginBottom)
+	plotH := float64(h - top - marginBottom)
 
 	xMin, xMax, yMax := c.bounds()
 	if c.YMax > 0 {
@@ -81,7 +101,7 @@ func (c Chart) SVG() string {
 		yMax = 1
 	}
 	px := func(x float64) float64 { return float64(marginLeft) + (x-xMin)/(xMax-xMin)*plotW }
-	py := func(y float64) float64 { return float64(marginTop) + (1-y/yMax)*plotH }
+	py := func(y float64) float64 { return float64(top) + (1-y/yMax)*plotH }
 
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
@@ -89,9 +109,27 @@ func (c Chart) SVG() string {
 	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`,
 		marginLeft, escape(c.Title))
 
+	// Event lanes between the title and the plot area.
+	for i, lane := range c.Lanes {
+		color := lane.Color
+		if color == "" {
+			color = defaultPalette[i%len(defaultPalette)]
+		}
+		cy := marginTop + laneHeight*i + laneHeight/2
+		fmt.Fprintf(&b, `<text x="2" y="%d" font-family="sans-serif" font-size="9" fill="%s">%s</text>`,
+			cy+3, color, escape(lane.Name))
+		for _, x := range lane.Xs {
+			if x < xMin || x > xMax {
+				continue
+			}
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1.2"/>`,
+				px(x), cy-5, px(x), cy+5, color)
+		}
+	}
+
 	// Axes.
 	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
-		marginLeft, marginTop, marginLeft, h-marginBottom)
+		marginLeft, top, marginLeft, h-marginBottom)
 	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
 		marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
 	// Ticks.
@@ -109,7 +147,7 @@ func (c Chart) SVG() string {
 	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`,
 		float64(marginLeft)+plotW/2, h-8, escape(c.XLabel))
 	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`,
-		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+		float64(top)+plotH/2, float64(top)+plotH/2, escape(c.YLabel))
 
 	// Vertical markers.
 	for _, vl := range c.VLines {
@@ -118,10 +156,10 @@ func (c Chart) SVG() string {
 			color = "#d62728"
 		}
 		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-dasharray="4 3"/>`,
-			px(vl.X), marginTop, px(vl.X), h-marginBottom, color)
+			px(vl.X), top, px(vl.X), h-marginBottom, color)
 		if vl.Label != "" {
 			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" fill="%s">%s</text>`,
-				px(vl.X)+3, marginTop+10, color, escape(vl.Label))
+				px(vl.X)+3, top+10, color, escape(vl.Label))
 		}
 	}
 
@@ -147,7 +185,7 @@ func (c Chart) SVG() string {
 			color, dash, strings.TrimSpace(pts.String()))
 		// Legend entry.
 		lx := w - marginRight - 150
-		ly := marginTop + 14*i
+		ly := top + 14*i
 		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`,
 			lx, ly, lx+18, ly, color, dash)
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`,
@@ -179,6 +217,16 @@ func (c Chart) bounds() (xMin, xMax, yMax float64) {
 		}
 		if vl.X > xMax {
 			xMax = vl.X
+		}
+	}
+	for _, lane := range c.Lanes {
+		for _, x := range lane.Xs {
+			if x < xMin {
+				xMin = x
+			}
+			if x > xMax {
+				xMax = x
+			}
 		}
 	}
 	if math.IsInf(xMin, 1) {

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/metrics"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
@@ -269,6 +270,7 @@ func (v *validator) startRound(round int) {
 	v.round = round
 	st := v.state(round)
 	st.startedAt = v.ctx.Now()
+	v.base.Consensus(metrics.EventRoundStart, round, v.coordinator(round, 0), "")
 	jitter := time.Duration(0)
 	if v.cfg.ProposalJitter > 0 {
 		jitter = time.Duration(v.jitterRNG.Int63n(int64(v.cfg.ProposalJitter)))
@@ -282,7 +284,12 @@ func (v *validator) startRound(round int) {
 		v.ctx.Broadcast(v.base.Peers, proposalMsg{Round: round, Proposer: v.base.ID, Txs: txs})
 		v.maybeScheduleEstimate(round)
 	})
-	v.ctx.After(v.cfg.ProposalTimeout, func() { v.estimate(round) })
+	v.ctx.After(v.cfg.ProposalTimeout, func() {
+		if cur := v.state(round); !cur.decided && cur.myVote[0] == nil {
+			v.base.Consensus(metrics.EventTimeout, round, v.base.ID, "proposal quorum timeout")
+		}
+		v.estimate(round)
+	})
 	v.maybeScheduleEstimate(round)
 }
 
@@ -389,11 +396,13 @@ func (v *validator) evaluate(round, sub int) {
 	// falling back to our majority view when it stays silent (a crashed
 	// coordinator cannot block convergence).
 	st.sub = sub + 1
+	v.base.Consensus(metrics.EventLeaderChange, round, v.coordinator(round, sub+1), "sub-round coordinator rotation")
 	v.ctx.After(v.cfg.CoordTimeout, func() {
 		cur := v.state(round)
 		if cur.decided || cur.myVote[sub+1] != nil {
 			return
 		}
+		v.base.Consensus(metrics.EventTimeout, round, v.coordinator(round, sub+1), "coordinator silent")
 		v.castVote(round, sub+1, v.majorityEst(round, sub), false)
 	})
 	v.maybeSendCoord(round)
@@ -492,6 +501,7 @@ func (v *validator) decide(round int, est []simnet.NodeID) {
 	}
 	st.pendingDecide = nil
 	st.decided = true
+	v.base.Consensus(metrics.EventCommit, round, v.coordinator(round, 0), "superblock decided")
 	v.decides++
 	block := v.assemble(round, est, st)
 	v.base.SubmitBlock(block)

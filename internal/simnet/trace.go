@@ -83,6 +83,19 @@ func WriterTracer(w io.Writer) Tracer {
 	}
 }
 
+// MultiTracer fans every event out to all given tracers in order, skipping
+// nil entries; it lets a log writer and a metrics recorder share the
+// network's single tracer slot.
+func MultiTracer(tracers ...Tracer) Tracer {
+	return func(ev TraceEvent) {
+		for _, t := range tracers {
+			if t != nil {
+				t(ev)
+			}
+		}
+	}
+}
+
 func (n *Network) trace(ev TraceEvent) {
 	if n.tracer != nil {
 		ev.At = n.sched.Now()

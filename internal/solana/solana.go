@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/metrics"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
@@ -319,6 +320,14 @@ func (v *validator) onSlot() {
 		return
 	}
 	slot := v.currentSlot()
+	if slot > 0 && v.Leader(slot) != v.Leader(slot-1) {
+		v.base.Consensus(metrics.EventLeaderChange, slot, v.Leader(slot), "leader window rotation")
+	}
+	// A leader broadcasts a block every slot, even an empty one, so a slot
+	// still blockless two slots later means its leader was down or cut off.
+	if miss := slot - 2; miss >= 0 && v.blocks[miss] == nil && !v.rooted[miss] {
+		v.base.Consensus(metrics.EventTimeout, miss, v.Leader(miss), "leader window produced no block")
+	}
 	v.checkEAH(slot)
 	if v.panicked {
 		return
@@ -446,6 +455,7 @@ func (v *validator) forward() {
 
 // produce freezes this slot's bank and broadcasts it.
 func (v *validator) produce(slot int) {
+	v.base.Consensus(metrics.EventRoundStart, slot, v.base.ID, "")
 	txs := v.base.ProposalTxs(v.cfg.MaxBlockTxs)
 	msg := blockMsg{
 		Slot:   slot,
@@ -487,6 +497,7 @@ func (v *validator) onVote(msg voteMsg) {
 		return
 	}
 	v.rooted[msg.Slot] = true
+	v.base.Consensus(metrics.EventCommit, msg.Slot, block.Leader, "")
 	v.base.SubmitBlock(chain.Block{
 		Height:    block.Height,
 		Proposer:  block.Leader,

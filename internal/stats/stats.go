@@ -1,6 +1,11 @@
 // Package stats implements the measurement side of STABL: empirical CDFs,
 // the empirical super-cumulative distribution, the sensitivity score
 // (STABL §3), throughput time series and recovery-time estimation.
+//
+// Every function here is a pure computation over its inputs — no randomness,
+// no clocks, no global state — so identical samples always produce identical
+// scores, and values may be shared freely across goroutines once built
+// (Dist and TimeSeries are immutable after construction).
 package stats
 
 import (

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"stabl/internal/algorand"
 	"stabl/internal/aptos"
@@ -35,6 +36,7 @@ import (
 	"stabl/internal/campaign"
 	"stabl/internal/chain"
 	"stabl/internal/core"
+	"stabl/internal/metrics"
 	"stabl/internal/redbelly"
 	"stabl/internal/solana"
 	"stabl/internal/stats"
@@ -137,6 +139,35 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (
 
 // ParseCampaignSpec reads a JSON campaign spec (see specs/campaign-*.json).
 func ParseCampaignSpec(r io.Reader) (CampaignSpec, error) { return campaign.ParseSpec(r) }
+
+// Virtual-time instrumentation types. See the internal/metrics package for
+// the determinism and single-run guarantees.
+type (
+	// MetricsRecorder collects one run's counters, gauges, latency
+	// observations and consensus events keyed by the simulated clock;
+	// attach via Config.Metrics or CampaignOptions.Metrics.
+	MetricsRecorder = metrics.Recorder
+	// MetricsEvent is one protocol-level consensus event.
+	MetricsEvent = metrics.Event
+	// MetricsRunInfo identifies the run a recorder instrumented.
+	MetricsRunInfo = metrics.RunInfo
+	// CampaignCoord identifies one fault-space coordinate of a campaign.
+	CampaignCoord = campaign.Cell
+)
+
+// NewMetricsRecorder creates a recorder aggregating at the given interval
+// (metrics.DefaultInterval when zero). One recorder instruments exactly one
+// run and is not safe for concurrent use.
+func NewMetricsRecorder(interval time.Duration) *MetricsRecorder {
+	return metrics.NewRecorder(interval)
+}
+
+// TimelineSVG renders a recorded run as an SVG timeline: latency and commit
+// rate per interval, fault inject/recover markers, and event lanes for
+// leader changes, timeouts and node lifecycle transitions.
+func TimelineSVG(rec *MetricsRecorder, title string) string {
+	return metrics.TimelineSVG(rec, title)
+}
 
 // ParseFaultKind is the inverse of FaultKind.String, the canonical fault
 // name mapping shared by the CLI and all spec formats.
