@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify figures clean
+.PHONY: all build vet test race verify bench bench-smoke figures clean
 
 all: verify
 
@@ -28,6 +28,19 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
+
+# bench regenerates the committed kernel benchmark report (figures at the
+# paper's 400 virtual seconds plus the scheduler/simnet microbenchmarks).
+bench:
+	$(GO) run ./cmd/stabl -bench-out BENCH_kernel.json bench
+
+# bench-smoke is the fast race-enabled benchmark gate: one short iteration
+# of every figure benchmark (120 virtual seconds via -short) and of each
+# kernel microbenchmark. It proves the benchmark paths are race-free and
+# still wired up without measuring anything.
+bench-smoke:
+	$(GO) test -race -short -run='^$$' -bench=. -benchtime=1x -timeout 20m \
+		. ./internal/sim ./internal/simnet
 
 # figures regenerates every SVG artifact of the paper into ./out.
 figures:

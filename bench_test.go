@@ -24,9 +24,16 @@ import (
 	"stabl/internal/redbelly"
 )
 
-// paperCfg is the deployment every figure benchmark uses.
+// paperCfg is the deployment every figure benchmark uses. Under -short
+// (the `make bench-smoke` race-enabled job) runs shrink to 120 virtual
+// seconds — long enough to cross the fault injection, short enough that one
+// iteration of every figure fits in a smoke budget.
 func paperCfg(seed int64) Config {
-	return Config{Seed: seed, Duration: 400 * time.Second}
+	d := 400 * time.Second
+	if testing.Short() {
+		d = 120 * time.Second
+	}
+	return Config{Seed: seed, Duration: d}
 }
 
 // reportScores publishes one metric per system for a Fig 3 panel.

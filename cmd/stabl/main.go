@@ -18,13 +18,15 @@
 //	suite           multi-seed sweep over all systems and faults
 //	run             one experiment for -system and -fault
 //	campaign        chaos campaign over a fault-space grid (-config spec)
+//	bench           kernel benchmark suite, written to BENCH_kernel.json
 //
 // Flags select the system, fault, seed and deployment size, and may come
 // before or after the command (`stabl campaign -config spec.json`); see
 // -help. With -metrics-out (run) or -metrics-dir (campaign), each run also
 // dumps its virtual-time instrumentation — JSONL and CSV interval metrics
 // plus an SVG timeline of latency, commit rate, fault markers and consensus
-// events.
+// events. -cpuprofile and -memprofile write pprof profiles of any command
+// (most useful around run, campaign and bench).
 package main
 
 import (
@@ -35,10 +37,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"stabl"
+	"stabl/internal/kernelbench"
 )
 
 func main() {
@@ -69,6 +74,11 @@ func run(args []string, out io.Writer) error {
 		metricsOut      = fs.String("metrics-out", "", "write the altered run's metrics (JSONL, CSV, SVG timeline) into this directory (run command)")
 		metricsDir      = fs.String("metrics-dir", "", "write per-cell metrics dumps and timelines into this directory (campaign command)")
 		metricsInterval = fs.Duration("metrics-interval", 5*time.Second, "aggregation interval for -metrics-out and -metrics-dir")
+
+		benchOut   = fs.String("bench-out", "BENCH_kernel.json", "report file for the bench command")
+		benchFull  = fs.Bool("bench-full", false, "bench command: also replay the Fig 7 matrix (40 runs; slow)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile to this file when the command finishes")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +96,35 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 0 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one command, got %q and %q", command, fs.Arg(0))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stabl: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "stabl: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := stabl.Config{
@@ -227,6 +266,33 @@ func run(args []string, out io.Writer) error {
 			return res.WriteJSON(out)
 		}
 		return res.WriteText(out)
+	case "bench":
+		// Create the report file first so a bad path fails in
+		// milliseconds, not after minutes of benchmarking.
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			return err
+		}
+		rep, err := kernelbench.Run(kernelbench.Options{
+			Duration: *duration,
+			Full:     *benchFull,
+			Progress: func(name string) { fmt.Fprintln(os.Stderr, "bench:", name) },
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *jsonOut {
+			return rep.WriteJSON(out)
+		}
+		return rep.WriteText(out)
 	case "run":
 		if *configPath != "" {
 			f, err := os.Open(*configPath)

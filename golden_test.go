@@ -1,0 +1,62 @@
+package stabl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGoldenSeed42Scores pins the exact sensitivity scores (and, as a
+// stronger determinism witness, the commit and scheduler-event counts) of all
+// five systems under an f=t crash at seed 42. The values were captured from
+// the seed kernel; any kernel change — event queue, send path, RNG derivation
+// — must reproduce them byte-for-byte. A drift here means the optimization
+// changed the simulation, not just its speed.
+func TestGoldenSeed42Scores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden score pin skipped in -short mode")
+	}
+	golden := []struct {
+		system   string
+		score    float64
+		baseline int
+		altered  int
+		events   uint64
+	}{
+		{"Algorand", 0.66784647434234046, 23593, 23540, 287240},
+		{"Aptos", 10.073052197873224, 23878, 23791, 251323},
+		{"Avalanche", 8.0530596652388056, 23268, 23193, 724808},
+		{"Redbelly", 0.4607739748297166, 23890, 23929, 174207},
+		{"Solana", 5.2728795911219351, 23911, 23913, 132183},
+	}
+	cfg := Config{
+		Seed:     42,
+		Duration: 120 * time.Second,
+		Fault:    FaultPlan{Kind: FaultCrash, InjectAt: 40 * time.Second, RecoverAt: 80 * time.Second},
+	}
+	for i, sys := range Systems() {
+		want := golden[i]
+		if got := sys.Name(); got != want.system {
+			t.Fatalf("system %d = %s, want %s (registry order changed; regenerate goldens deliberately)", i, got, want.system)
+		}
+		c := cfg
+		c.System = sys
+		cmp, err := Compare(c)
+		if err != nil {
+			t.Fatalf("%s: %v", want.system, err)
+		}
+		if cmp.Score.Infinite {
+			t.Errorf("%s: score became infinite, want %v", want.system, want.score)
+			continue
+		}
+		if cmp.Score.Value != want.score {
+			t.Errorf("%s: score = %.17g, want %.17g", want.system, cmp.Score.Value, want.score)
+		}
+		if cmp.Baseline.UniqueCommits != want.baseline || cmp.Altered.UniqueCommits != want.altered {
+			t.Errorf("%s: commits = %d/%d, want %d/%d", want.system,
+				cmp.Baseline.UniqueCommits, cmp.Altered.UniqueCommits, want.baseline, want.altered)
+		}
+		if cmp.Altered.Events != want.events {
+			t.Errorf("%s: altered run fired %d events, want %d", want.system, cmp.Altered.Events, want.events)
+		}
+	}
+}

@@ -193,7 +193,7 @@ type validator struct {
 	ctx        *simnet.Context
 	round      int
 	filterTO   time.Duration
-	roundTimer *sim.Timer
+	roundTimer sim.Timer
 	proposals  map[int]map[simnet.NodeID]*proposalMsg
 	votes      map[int]map[string]map[simnet.NodeID]bool // round -> stage/proposer -> voters
 	nexts      map[int]map[simnet.NodeID]bool
@@ -236,9 +236,7 @@ func (v *validator) Start(ctx *simnet.Context) {
 
 // Stop implements simnet.Handler.
 func (v *validator) Stop() {
-	if v.roundTimer != nil {
-		v.roundTimer.Stop()
-	}
+	v.roundTimer.Stop()
 	if v.puller != nil {
 		v.puller.Stop()
 	}
@@ -383,9 +381,7 @@ func (v *validator) noteEvidence(round int, from simnet.NodeID) {
 
 func (v *validator) enterRound(round int) {
 	v.round = round
-	if v.roundTimer != nil {
-		v.roundTimer.Stop()
-	}
+	v.roundTimer.Stop()
 	v.base.Consensus(metrics.EventRoundStart, round, v.Proposer(round), "")
 	if v.rank(round, v.base.ID) >= 0 {
 		v.propose(round)

@@ -179,7 +179,7 @@ type validator struct {
 	ctx        *simnet.Context
 	round      int
 	consFails  int
-	roundTimer *sim.Timer
+	roundTimer sim.Timer
 	votes      map[int]map[simnet.NodeID]bool
 	timeouts   map[int]map[simnet.NodeID]bool
 	proposed   map[int][]chain.Tx
@@ -216,9 +216,7 @@ func (v *validator) Start(ctx *simnet.Context) {
 
 // Stop implements simnet.Handler.
 func (v *validator) Stop() {
-	if v.roundTimer != nil {
-		v.roundTimer.Stop()
-	}
+	v.roundTimer.Stop()
 }
 
 // Base exposes the validator core.
@@ -299,9 +297,7 @@ func (v *validator) excluded(c simnet.NodeID, round int) bool {
 // delay (used to pace successful rounds and model view-change cost).
 func (v *validator) enterRound(round int, delay time.Duration) {
 	v.round = round
-	if v.roundTimer != nil {
-		v.roundTimer.Stop()
-	}
+	v.roundTimer.Stop()
 	v.base.Consensus(metrics.EventRoundStart, round, v.leader(round), "")
 	v.roundTimer = v.ctx.After(delay+v.timeout(), func() { v.onLocalTimeout(round) })
 	if v.leader(round) == v.base.ID {

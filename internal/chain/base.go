@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"stabl/internal/metrics"
+	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
 
@@ -81,7 +82,7 @@ type BaseNode struct {
 	applyingAt    int // height of the block being executed (-1 when idle)
 	applyingBlock Block
 	applyErrors   uint64
-	syncTimer     interface{ Stop() bool }
+	syncTimer     sim.Timer
 	syncActive    bool
 }
 
@@ -370,9 +371,7 @@ func (n *BaseNode) HandleSync(from simnet.NodeID, payload any) bool {
 		if !n.syncActive {
 			return true
 		}
-		if n.syncTimer != nil {
-			n.syncTimer.Stop()
-		}
+		n.syncTimer.Stop()
 		for _, b := range msg.Blocks {
 			n.SubmitBlock(b)
 		}
@@ -414,9 +413,7 @@ func (n *BaseNode) requestSyncRound() {
 	}
 	from := n.nextNeededHeight()
 	n.ctx.Send(peer, SyncReq{From: from})
-	if n.syncTimer != nil {
-		n.syncTimer.Stop()
-	}
+	n.syncTimer.Stop()
 	n.syncTimer = n.ctx.After(n.cfg.SyncRetry, func() {
 		if n.syncActive {
 			n.requestSyncRound()

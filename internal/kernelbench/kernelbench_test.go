@@ -1,0 +1,79 @@
+package kernelbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigureReportShape runs the figure suite at a tiny virtual duration and
+// checks the report carries the fields the perf-trajectory tooling reads.
+func TestFigureReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernelbench figure smoke skipped in -short mode")
+	}
+	var names []string
+	rep, err := Run(Options{
+		Duration:  2 * time.Second,
+		SkipMicro: true,
+		Progress:  func(name string) { names = append(names, name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 8 {
+		t.Fatalf("entries = %d, want 8 figure replays", len(rep.Entries))
+	}
+	if len(names) != len(rep.Entries) {
+		t.Fatalf("progress calls = %d, entries = %d", len(names), len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.Kind != "figure" {
+			t.Errorf("%s: kind = %q, want figure", e.Name, e.Kind)
+		}
+		if e.EventsPerSec <= 0 {
+			t.Errorf("%s: events/sec not measured", e.Name)
+		}
+		if e.WallSeconds <= 0 || e.NsPerOp <= 0 {
+			t.Errorf("%s: wall time not measured", e.Name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Entries) != len(rep.Entries) || back.GoVersion == "" {
+		t.Fatal("round-tripped report lost fields")
+	}
+
+	buf.Reset()
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig3aCrash") {
+		t.Fatalf("text table missing entries:\n%s", buf.String())
+	}
+}
+
+// TestMicroSuiteRunsOne exercises one microbenchmark end to end through
+// testing.Benchmark so the CLI path is covered without paying for the whole
+// suite.
+func TestMicroSuiteRunsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernelbench micro smoke skipped in -short mode")
+	}
+	res := testing.Benchmark(BenchSchedulerPushPop)
+	if res.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	if res.Extra["events/s"] <= 0 {
+		t.Fatal("events/s metric missing")
+	}
+}

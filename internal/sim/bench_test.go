@@ -1,0 +1,22 @@
+package sim_test
+
+import (
+	"testing"
+
+	"stabl/internal/kernelbench"
+)
+
+// The scheduler microbenchmarks live in internal/kernelbench so that
+// `go test -bench` and the `stabl bench` report measure identical bodies.
+// Run with:
+//
+//	go test -bench=. -benchmem ./internal/sim
+//
+// BenchmarkSchedulerPushPop is the acceptance gate for kernel work: its
+// events/s must not regress, and the optimized kernel must hold 0 allocs/op
+// in steady state.
+
+func BenchmarkSchedulerPushPop(b *testing.B)    { kernelbench.BenchSchedulerPushPop(b) }
+func BenchmarkSchedulerTimerChurn(b *testing.B) { kernelbench.BenchSchedulerTimerChurn(b) }
+func BenchmarkSchedulerMixed(b *testing.B)      { kernelbench.BenchSchedulerMixed(b) }
+func BenchmarkSchedulerRNG(b *testing.B)        { kernelbench.BenchSchedulerRNG(b) }

@@ -1,0 +1,207 @@
+package sim
+
+// Edge-case and property tests for the inlined 4-ary heap / slot-arena event
+// queue. These live in the sim package (not sim_test) so they can drive the
+// heap against a reference container/heap implementation and poke at slot
+// recycling directly.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStopOnRecycledSlotIsInert is the generation-fence contract: once a
+// timer's slot has been recycled by a later event, the stale handle must
+// neither cancel the new occupant nor report success.
+func TestStopOnRecycledSlotIsInert(t *testing.T) {
+	s := New(1)
+	stale := s.After(time.Second, func() { t.Fatal("stopped event fired") })
+	if !stale.Stop() {
+		t.Fatal("first Stop should succeed")
+	}
+	// The freed slot is recycled by the next schedule.
+	fired := false
+	fresh := s.After(2*time.Second, func() { fired = true })
+	if fresh.slot != stale.slot {
+		t.Fatalf("expected slot reuse, got %d then %d", stale.slot, fresh.slot)
+	}
+	if stale.Stop() {
+		t.Fatal("stale Stop on recycled slot reported success")
+	}
+	if !stale.Stopped() {
+		t.Fatal("stale handle should report stopped")
+	}
+	s.RunUntil(3 * time.Second)
+	if !fired {
+		t.Fatal("stale Stop cancelled the slot's new occupant")
+	}
+}
+
+// TestStopAcrossManyRecycles hammers one slot through many generations and
+// checks an ancient handle stays inert.
+func TestStopAcrossManyRecycles(t *testing.T) {
+	s := New(1)
+	ancient := s.After(time.Second, func() {})
+	ancient.Stop()
+	for i := 0; i < 100; i++ {
+		tm := s.After(time.Second, func() {})
+		tm.Stop()
+	}
+	live := s.After(time.Second, func() {})
+	if ancient.Stop() {
+		t.Fatal("ancient handle cancelled someone else's event")
+	}
+	if live.Stopped() {
+		t.Fatal("live timer reported stopped")
+	}
+}
+
+// TestRunUntilExactDeadline checks the boundary contract: events scheduled
+// at precisely the deadline execute, and the clock lands exactly on the
+// deadline afterwards even when the last event fires earlier.
+func TestRunUntilExactDeadline(t *testing.T) {
+	s := New(1)
+	var at, after bool
+	s.At(10*time.Second, func() { at = true })
+	s.At(10*time.Second+1, func() { after = true })
+	s.RunUntil(10 * time.Second)
+	if !at {
+		t.Fatal("event at the exact deadline did not run")
+	}
+	if after {
+		t.Fatal("event one tick past the deadline ran")
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("clock at %s, want exactly 10s", s.Now())
+	}
+	// A second RunUntil picks the remaining event up.
+	s.RunUntil(11 * time.Second)
+	if !after {
+		t.Fatal("remaining event did not run on the next window")
+	}
+	if s.Now() != 11*time.Second {
+		t.Fatalf("clock at %s, want 11s", s.Now())
+	}
+}
+
+// TestRunUntilDeadlineWithNoEvents advances the clock even on an empty queue.
+func TestRunUntilDeadlineWithNoEvents(t *testing.T) {
+	s := New(1)
+	s.RunUntil(5 * time.Second)
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock at %s, want 5s", s.Now())
+	}
+}
+
+// refQueue is a reference priority queue built on container/heap — the shape
+// of the kernel before the inlined 4-ary rewrite — used as the oracle for
+// the pop-order property test.
+type refEntry struct {
+	at  time.Duration
+	seq uint64
+}
+
+type refQueue []refEntry
+
+func (q refQueue) Len() int      { return len(q) }
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q *refQueue) Push(x any) { *q = append(*q, x.(refEntry)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old) - 1
+	e := old[n]
+	*q = old[:n]
+	return e
+}
+
+// TestPropertyHeapMatchesReference drives the 4-ary heap and a container/heap
+// oracle with the same randomized interleaving of pushes and pops and demands
+// identical (time, seq) pop order throughout.
+func TestPropertyHeapMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		ref := &refQueue{}
+		var seq uint64
+		for op := 0; op < 2000; op++ {
+			if ref.Len() == 0 || rng.Intn(3) != 0 { // bias toward pushes
+				at := time.Duration(rng.Intn(1000)) * time.Millisecond
+				if at < s.now {
+					at = s.now
+				}
+				slot := s.acquireSlot(func() {})
+				s.push(heapEntry{at: at, seq: seq, slot: slot, gen: s.slots[slot].gen})
+				heap.Push(ref, refEntry{at: at, seq: seq})
+				seq++
+			} else {
+				got := s.pop()
+				s.releaseSlot(got.slot)
+				want := heap.Pop(ref).(refEntry)
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("seed %d op %d: popped (%s, %d), reference says (%s, %d)",
+						seed, op, got.at, got.seq, want.at, want.seq)
+				}
+				s.now = got.at
+			}
+		}
+		for ref.Len() > 0 {
+			got := s.pop()
+			s.releaseSlot(got.slot)
+			want := heap.Pop(ref).(refEntry)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("seed %d drain: popped (%s, %d), reference says (%s, %d)",
+					seed, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		if len(s.heap) != 0 {
+			t.Fatalf("seed %d: %d entries left after draining the reference", seed, len(s.heap))
+		}
+	}
+}
+
+// TestPropertyCancelledEntriesStayQueued pins the lazy-cancellation
+// semantics the golden runs depend on: Stop leaves the heap entry in place
+// (Pending counts it) and Step skips it without firing.
+func TestPropertyCancelledEntriesStayQueued(t *testing.T) {
+	s := New(7)
+	var fired int
+	timers := make([]Timer, 0, 100)
+	for i := 0; i < 100; i++ {
+		timers = append(timers, s.After(time.Duration(i+1)*time.Millisecond, func() { fired++ }))
+	}
+	for i := 0; i < 100; i += 2 {
+		timers[i].Stop()
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending = %d after lazy cancellation, want 100", s.Pending())
+	}
+	for s.Step() {
+	}
+	if fired != 50 {
+		t.Fatalf("fired %d events, want the 50 uncancelled ones", fired)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", s.Pending())
+	}
+}
+
+// TestSlotArenaReusesMemory checks steady-state churn does not grow the
+// arena: repeated schedule/fire cycles should settle on a bounded slot count.
+func TestSlotArenaReusesMemory(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		s.After(time.Millisecond, func() {})
+		s.Step()
+	}
+	if len(s.slots) > 2 {
+		t.Fatalf("slot arena grew to %d slots under serial churn, want <= 2", len(s.slots))
+	}
+}

@@ -9,7 +9,8 @@ type Ticker struct {
 	sched    *Scheduler
 	interval time.Duration
 	fn       func()
-	timer    *Timer
+	fire     func() // bound once so re-arming allocates no new closure
+	timer    Timer
 	stopped  bool
 }
 
@@ -21,12 +22,7 @@ func NewTicker(sched *Scheduler, interval time.Duration, fn func()) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{sched: sched, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.timer = t.sched.After(t.interval, func() {
+	t.fire = func() {
 		if t.stopped {
 			return
 		}
@@ -34,7 +30,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.sched.After(t.interval, t.fire)
 }
 
 // Stop cancels future ticks. It is idempotent.
@@ -43,9 +45,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // Reset changes the tick interval; the next tick fires one new interval from
@@ -54,9 +54,7 @@ func (t *Ticker) Reset(interval time.Duration) {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 	t.interval = interval
 	t.stopped = false
 	t.arm()

@@ -1,0 +1,21 @@
+package simnet_test
+
+import (
+	"testing"
+
+	"stabl/internal/kernelbench"
+)
+
+// The simnet microbenchmarks live in internal/kernelbench so that
+// `go test -bench` and the `stabl bench` report measure identical bodies.
+// They cover the three regimes STABL campaigns stress: a clean network
+// (SendDeliver), a partition-rule-heavy network, and crash/restart churn.
+// Run with:
+//
+//	go test -bench=. -benchmem ./internal/simnet
+
+func BenchmarkSendDeliver(b *testing.B)        { kernelbench.BenchSendDeliver(b) }
+func BenchmarkSendPartitionHeavy(b *testing.B) { kernelbench.BenchSendPartitionHeavy(b) }
+func BenchmarkSendChurnHeavy(b *testing.B)     { kernelbench.BenchSendChurnHeavy(b) }
+func BenchmarkContextRNG(b *testing.B)         { kernelbench.BenchContextRNG(b) }
+func BenchmarkStartAll(b *testing.B)           { kernelbench.BenchStartAll(b) }

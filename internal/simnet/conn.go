@@ -79,8 +79,8 @@ type pairState struct {
 	lastRecvB   time.Duration
 	attempt     int
 	epoch       uint64
-	retryTimer  *sim.Timer
-	ackTimer    *sim.Timer
+	retryTimer  sim.Timer
+	ackTimer    sim.Timer
 }
 
 type connManager struct {
@@ -108,6 +108,9 @@ func (n *Network) ManageConns(peers []NodeID, params ConnParams) {
 		pairs:  make(map[pairKey]*pairState),
 	}
 	now := n.sched.Now()
+	for _, id := range peers {
+		n.mustNode(id).connPeer = true
+	}
 	for i, a := range peers {
 		for _, b := range peers[i+1:] {
 			k := makePair(a, b)
@@ -137,15 +140,21 @@ func (n *Network) ConnStats() (uint64, uint64) {
 }
 
 func (cm *connManager) allows(from, to NodeID) bool {
-	if !cm.peers[from] || !cm.peers[to] {
+	return cm.allowsEp(cm.net.mustNode(from), cm.net.mustNode(to))
+}
+
+// allowsEp is the send-path gate: the connPeer flags replace two map lookups
+// for traffic that does not involve managed peers (clients, observers).
+func (cm *connManager) allowsEp(src, dst *endpoint) bool {
+	if !src.connPeer || !dst.connPeer {
 		return true
 	}
-	st := cm.pairs[makePair(from, to)]
+	st := cm.pairs[makePair(src.id, dst.id)]
 	return st != nil && st.established
 }
 
 func (cm *connManager) observeTraffic(from, to NodeID) {
-	if !cm.peers[from] || !cm.peers[to] {
+	if !cm.net.nodes[from].connPeer || !cm.net.nodes[to].connPeer {
 		return
 	}
 	st := cm.pairs[makePair(from, to)]
@@ -199,9 +208,7 @@ func (cm *connManager) teardown(st *pairState) {
 }
 
 func (cm *connManager) scheduleRetry(st *pairState, delay time.Duration) {
-	if st.retryTimer != nil {
-		st.retryTimer.Stop()
-	}
+	st.retryTimer.Stop()
 	epoch := st.epoch
 	st.retryTimer = cm.net.sched.After(delay, func() {
 		if st.established || st.epoch != epoch {
@@ -223,9 +230,7 @@ func (cm *connManager) attemptConnect(st *pairState) {
 		cm.sendControl(initiator, acceptor, connReq{epoch: st.epoch})
 	}
 	epoch := st.epoch
-	if st.ackTimer != nil {
-		st.ackTimer.Stop()
-	}
+	st.ackTimer.Stop()
 	st.ackTimer = cm.net.sched.After(cm.params.HandshakeTimeout, func() {
 		if st.established || st.epoch != epoch {
 			return
@@ -281,12 +286,8 @@ func (cm *connManager) establish(st *pairState) {
 	now := cm.net.sched.Now()
 	st.lastRecvA = now
 	st.lastRecvB = now
-	if st.retryTimer != nil {
-		st.retryTimer.Stop()
-	}
-	if st.ackTimer != nil {
-		st.ackTimer.Stop()
-	}
+	st.retryTimer.Stop()
+	st.ackTimer.Stop()
 }
 
 // nodeRestarted implements active recovery: a freshly restarted node tears
@@ -313,7 +314,8 @@ func (cm *connManager) nodeRestarted(id NodeID) {
 }
 
 // sendControl bypasses the established-connection gate (control traffic is
-// how connections come up) but still honours partitions and liveness.
+// how connections come up) but still honours partitions and liveness. Like
+// application sends it rides a pooled delivery event.
 func (cm *connManager) sendControl(from, to NodeID, payload any) {
 	n := cm.net
 	src := n.mustNode(from)
@@ -321,13 +323,11 @@ func (cm *connManager) sendControl(from, to NodeID, payload any) {
 	if !src.up || n.Blocked(from, to) || !dst.up {
 		return
 	}
-	inc := dst.incarnation
-	delay := n.latency.Sample(from, to, n.rng) + n.extraDelay[from] + n.extraDelay[to]
-	n.sched.After(delay, func() {
-		if !dst.up || dst.incarnation != inc {
-			return
-		}
-		cm.observeTraffic(from, to)
-		cm.handleControl(from, to, payload)
-	})
+	d := n.newDelivery()
+	d.dst = dst
+	d.from = from
+	d.payload = payload
+	d.inc = dst.incarnation
+	d.control = true
+	n.sched.After(n.delay(from, to), d.run)
 }

@@ -4,18 +4,28 @@
 // incarnation fencing, and an optional TCP-like connection layer whose
 // heartbeat/reconnect timers reproduce the partition-recovery behaviour of
 // real blockchain deployments.
+//
+// The send path is the hottest code in every experiment, so it is built for
+// constant-time checks: endpoints live in a dense slice keyed by NodeID,
+// partitions maintain a blocked-pair count map updated on Partition/Heal
+// (Blocked is O(1) per message instead of scanning every rule), netem-style
+// extra delays use a dense slice with a non-zero counter, and delivery
+// events are pooled value-typed closures rather than a fresh closure per
+// message.
 package simnet
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"stabl/internal/sim"
 )
 
 // NodeID identifies an endpoint on the network. Blockchain validators,
-// clients, observers and the experiment primary are all endpoints.
+// clients, observers and the experiment primary are all endpoints. IDs must
+// be small non-negative integers: they index dense per-node tables.
 type NodeID int
 
 // String implements fmt.Stringer.
@@ -85,27 +95,44 @@ type Network struct {
 	sched   *sim.Scheduler
 	latency LatencyModel
 	rng     *rand.Rand
-	nodes   map[NodeID]*endpoint
-	rules   map[int]partitionRule
-	ruleSeq int
-	conns   *connManager
-	stats   Stats
-	tracer  Tracer
+	// nodes is a dense table keyed by NodeID (nil = unregistered); ids
+	// lists registered ids, kept sorted lazily for StartAll.
+	nodes     []*endpoint
+	ids       []NodeID
+	idsSorted bool
+	rules     map[int]partitionRule
+	ruleSeq   int
+	// blockedPairs counts, per unordered node pair, how many active rules
+	// separate the pair; maintained by Partition/Heal so the per-message
+	// Blocked check is a single map probe (skipped entirely when empty).
+	blockedPairs map[pairKey]int
+	conns        *connManager
+	stats        Stats
+	tracer       Tracer
 	// extraDelay models netem-style per-interface latency injection:
-	// every message entering or leaving the node is delayed.
-	extraDelay map[NodeID]time.Duration
+	// every message entering or leaving the node is delayed. Dense by
+	// NodeID; extraDelayed counts non-zero entries so the common case
+	// costs one comparison.
+	extraDelay   []time.Duration
+	extraDelayed int
+	// freeDeliveries pools delivery events so a message in steady state
+	// schedules no new closure.
+	freeDeliveries *delivery
 }
 
 type endpoint struct {
 	id          NodeID
 	handler     Handler
 	up          bool
+	connPeer    bool // participates in the managed connection layer
 	incarnation uint64
 	ctx         *Context
 }
 
+// partitionRule remembers the cross pairs it contributed to blockedPairs so
+// Heal can retract exactly those counts.
 type partitionRule struct {
-	a, b map[NodeID]bool
+	pairs []pairKey
 }
 
 // New creates a network on the given scheduler.
@@ -115,12 +142,11 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 		lat = UniformLatency{Min: 5 * time.Millisecond, Max: 25 * time.Millisecond}
 	}
 	return &Network{
-		sched:      sched,
-		latency:    lat,
-		rng:        sched.RNG("simnet.latency"),
-		nodes:      make(map[NodeID]*endpoint),
-		rules:      make(map[int]partitionRule),
-		extraDelay: make(map[NodeID]time.Duration),
+		sched:        sched,
+		latency:      lat,
+		rng:          sched.RNG("simnet.latency"),
+		rules:        make(map[int]partitionRule),
+		blockedPairs: make(map[pairKey]int),
 	}
 }
 
@@ -132,26 +158,37 @@ func (n *Network) Stats() Stats { return n.stats }
 
 // AddNode registers a handler under id. Nodes start in the down state until
 // StartAll or StartNode is called. Adding a duplicate id is a programming
-// error and panics.
+// error and panics, as is a negative id (ids key dense tables).
 func (n *Network) AddNode(id NodeID, h Handler) {
-	if _, dup := n.nodes[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("simnet: negative node id %v", id))
+	}
+	if int(id) >= len(n.nodes) {
+		grown := make([]*endpoint, id+1)
+		copy(grown, n.nodes)
+		n.nodes = grown
+		delays := make([]time.Duration, id+1)
+		copy(delays, n.extraDelay)
+		n.extraDelay = delays
+	}
+	if n.nodes[id] != nil {
 		panic(fmt.Sprintf("simnet: duplicate node %v", id))
 	}
 	ep := &endpoint{id: id, handler: h}
 	ep.ctx = &Context{net: n, ep: ep}
 	n.nodes[id] = ep
+	n.ids = append(n.ids, id)
+	n.idsSorted = len(n.ids) == 1 || (n.idsSorted && id > n.ids[len(n.ids)-2])
 }
 
 // Node reports whether id is registered.
 func (n *Network) Node(id NodeID) bool {
-	_, ok := n.nodes[id]
-	return ok
+	return id >= 0 && int(id) < len(n.nodes) && n.nodes[id] != nil
 }
 
 // StartAll boots every registered node that is not already up.
 func (n *Network) StartAll() {
-	ids := n.sortedIDs()
-	for _, id := range ids {
+	for _, id := range n.sortedIDs() {
 		if !n.nodes[id].up {
 			n.StartNode(id)
 		}
@@ -203,7 +240,14 @@ func (n *Network) IsUp(id NodeID) bool { return n.mustNode(id).up }
 // STABL's netfilter-based injection: messages sent while the rule is active
 // are lost even if the rule is healed before they would have arrived.
 func (n *Network) Partition(a, b []NodeID) int {
-	rule := partitionRule{a: toSet(a), b: toSet(b)}
+	rule := partitionRule{pairs: make([]pairKey, 0, len(a)*len(b))}
+	for _, x := range a {
+		for _, y := range b {
+			k := makePair(x, y)
+			rule.pairs = append(rule.pairs, k)
+			n.blockedPairs[k]++
+		}
+	}
 	n.ruleSeq++
 	n.rules[n.ruleSeq] = rule
 	if len(a) > 0 {
@@ -215,8 +259,17 @@ func (n *Network) Partition(a, b []NodeID) int {
 
 // Heal removes a partition rule installed by Partition.
 func (n *Network) Heal(rule int) {
-	if _, ok := n.rules[rule]; ok {
-		n.trace(TraceEvent{Kind: TraceHeal, Detail: fmt.Sprintf("rule %d", rule)})
+	r, ok := n.rules[rule]
+	if !ok {
+		return
+	}
+	n.trace(TraceEvent{Kind: TraceHeal, Detail: fmt.Sprintf("rule %d", rule)})
+	for _, k := range r.pairs {
+		if c := n.blockedPairs[k]; c <= 1 {
+			delete(n.blockedPairs, k)
+		} else {
+			n.blockedPairs[k] = c - 1
+		}
 	}
 	delete(n.rules, rule)
 }
@@ -227,28 +280,93 @@ func (n *Network) Heal(rule int) {
 func (n *Network) SetExtraDelay(id NodeID, d time.Duration) {
 	n.mustNode(id)
 	n.trace(TraceEvent{Kind: TraceDelay, Node: id, Peer: id, Detail: d.String()})
-	if d <= 0 {
-		delete(n.extraDelay, id)
-		return
+	if d < 0 {
+		d = 0
+	}
+	old := n.extraDelay[id]
+	switch {
+	case old == 0 && d > 0:
+		n.extraDelayed++
+	case old > 0 && d == 0:
+		n.extraDelayed--
 	}
 	n.extraDelay[id] = d
 }
 
 // ExtraDelay returns the injected latency on a node's interface.
-func (n *Network) ExtraDelay(id NodeID) time.Duration { return n.extraDelay[id] }
-
-// Blocked reports whether a (from, to) pair is currently separated by a
-// partition rule.
-func (n *Network) Blocked(from, to NodeID) bool {
-	for _, r := range n.rules {
-		if (r.a[from] && r.b[to]) || (r.b[from] && r.a[to]) {
-			return true
-		}
+func (n *Network) ExtraDelay(id NodeID) time.Duration {
+	if int(id) >= len(n.extraDelay) {
+		return 0
 	}
-	return false
+	return n.extraDelay[id]
 }
 
-// send is the single message path; all drops are accounted in stats.
+// Blocked reports whether a (from, to) pair is currently separated by a
+// partition rule. The check is O(1): Partition/Heal maintain the pair
+// counts.
+func (n *Network) Blocked(from, to NodeID) bool {
+	if len(n.blockedPairs) == 0 {
+		return false
+	}
+	return n.blockedPairs[makePair(from, to)] > 0
+}
+
+// delivery is a pooled in-flight message event. Its run closure is bound
+// once when the delivery is first allocated; afterwards sending a message
+// reuses a free delivery and schedules the existing closure, so the steady
+// state send path allocates nothing.
+type delivery struct {
+	n       *Network
+	dst     *endpoint
+	from    NodeID
+	payload any
+	inc     uint64
+	control bool // connection-layer traffic (bypasses the app handler)
+	run     func()
+	next    *delivery // pool free list
+}
+
+func (n *Network) newDelivery() *delivery {
+	d := n.freeDeliveries
+	if d == nil {
+		d = &delivery{n: n}
+		d.run = d.fire
+	} else {
+		n.freeDeliveries = d.next
+		d.next = nil
+	}
+	return d
+}
+
+// fire executes the arrival. The delivery returns to the pool before the
+// handler runs: all state is copied to locals first, so reentrant sends from
+// inside Deliver can safely reuse it.
+func (d *delivery) fire() {
+	n, dst, from, payload, inc, control := d.n, d.dst, d.from, d.payload, d.inc, d.control
+	d.dst = nil
+	d.payload = nil
+	d.next = n.freeDeliveries
+	n.freeDeliveries = d
+	if !dst.up || dst.incarnation != inc {
+		if !control {
+			n.stats.DroppedInFlight++
+		}
+		return
+	}
+	if control {
+		n.conns.observeTraffic(from, dst.id)
+		n.conns.handleControl(from, dst.id, payload)
+		return
+	}
+	n.stats.Delivered++
+	if n.conns != nil {
+		n.conns.observeTraffic(from, dst.id)
+	}
+	dst.handler.Deliver(from, payload)
+}
+
+// send is the single application message path; all drops are accounted in
+// stats.
 func (n *Network) send(from, to NodeID, payload any) {
 	src := n.mustNode(from)
 	dst := n.mustNode(to)
@@ -261,7 +379,7 @@ func (n *Network) send(from, to NodeID, payload any) {
 		n.stats.DroppedPartition++
 		return
 	}
-	if n.conns != nil && !n.conns.allows(from, to) {
+	if n.conns != nil && !n.conns.allowsEp(src, dst) {
 		n.stats.DroppedConnDown++
 		return
 	}
@@ -269,40 +387,42 @@ func (n *Network) send(from, to NodeID, payload any) {
 		n.stats.DroppedNodeDown++
 		return
 	}
-	inc := dst.incarnation
-	delay := n.latency.Sample(from, to, n.rng) + n.extraDelay[from] + n.extraDelay[to]
-	n.sched.After(delay, func() {
-		if !dst.up || dst.incarnation != inc {
-			n.stats.DroppedInFlight++
-			return
-		}
-		n.stats.Delivered++
-		if n.conns != nil {
-			n.conns.observeTraffic(from, to)
-		}
-		dst.handler.Deliver(from, payload)
-	})
+	d := n.newDelivery()
+	d.dst = dst
+	d.from = from
+	d.payload = payload
+	d.inc = dst.incarnation
+	d.control = false
+	n.sched.After(n.delay(from, to), d.run)
+}
+
+// delay samples the one-way latency for a message, including any injected
+// interface delays.
+func (n *Network) delay(from, to NodeID) time.Duration {
+	d := n.latency.Sample(from, to, n.rng)
+	if n.extraDelayed > 0 {
+		d += n.extraDelay[from] + n.extraDelay[to]
+	}
+	return d
 }
 
 func (n *Network) mustNode(id NodeID) *endpoint {
-	ep, ok := n.nodes[id]
-	if !ok {
-		panic(fmt.Sprintf("simnet: unknown node %v", id))
-	}
-	return ep
-}
-
-func (n *Network) sortedIDs() []NodeID {
-	ids := make([]NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+	if id >= 0 && int(id) < len(n.nodes) {
+		if ep := n.nodes[id]; ep != nil {
+			return ep
 		}
 	}
-	return ids
+	panic(fmt.Sprintf("simnet: unknown node %v", id))
+}
+
+// sortedIDs returns all registered ids in ascending order. The sorted slice
+// is cached and only re-sorted after an out-of-order AddNode.
+func (n *Network) sortedIDs() []NodeID {
+	if !n.idsSorted {
+		sort.Slice(n.ids, func(i, j int) bool { return n.ids[i] < n.ids[j] })
+		n.idsSorted = true
+	}
+	return n.ids
 }
 
 func toSet(ids []NodeID) map[NodeID]bool {
@@ -319,6 +439,9 @@ func toSet(ids []NodeID) map[NodeID]bool {
 type Context struct {
 	net *Network
 	ep  *endpoint
+	// rngSeeds memoizes the derived seed per stream name so repeated
+	// derivations (every restart) skip the name formatting and hashing.
+	rngSeeds map[string]int64
 }
 
 // ID returns the node's identity.
@@ -348,7 +471,7 @@ func (c *Context) Broadcast(peers []NodeID, payload any) {
 
 // After schedules fn on the node's behalf. The callback is suppressed if the
 // node crashes (or restarts) before it fires.
-func (c *Context) After(d time.Duration, fn func()) *sim.Timer {
+func (c *Context) After(d time.Duration, fn func()) sim.Timer {
 	inc := c.ep.incarnation
 	return c.net.sched.After(d, func() {
 		if c.ep.up && c.ep.incarnation == inc {
@@ -368,9 +491,19 @@ func (c *Context) Every(interval time.Duration, fn func()) *sim.Ticker {
 	})
 }
 
-// RNG derives a deterministic random stream namespaced to this node.
+// RNG derives a deterministic random stream namespaced to this node. Like
+// sim.Scheduler.RNG, every call returns a fresh stream positioned at its
+// start; the derivation is memoized per name.
 func (c *Context) RNG(name string) *rand.Rand {
-	return c.net.sched.RNG(fmt.Sprintf("node/%d/%s", int(c.ep.id), name))
+	if d, ok := c.rngSeeds[name]; ok {
+		return rand.New(rand.NewSource(d))
+	}
+	d := c.net.sched.RNGSeed(fmt.Sprintf("node/%d/%s", int(c.ep.id), name))
+	if c.rngSeeds == nil {
+		c.rngSeeds = make(map[string]int64)
+	}
+	c.rngSeeds[name] = d
+	return rand.New(rand.NewSource(d))
 }
 
 // Connected reports whether the connection layer currently allows traffic
