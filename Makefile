@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke figures clean
+.PHONY: all build vet test race verify specs bench bench-smoke figures clean
 
 all: verify
 
@@ -21,12 +21,18 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# specs lints every shipped experiment, scenario and campaign spec through
+# the same parser/validator the CLI uses at run time.
+specs:
+	$(GO) run ./cmd/stabl spec -validate 'specs/*.json' 'specs/scenarios/*.json'
+
 # verify is the one gate to run before committing: compile everything,
-# static checks, then the full suite under the race detector (the parallel
-# suite/campaign sweeps are the only concurrent code paths).
+# static checks, spec linting, then the full suite under the race detector
+# (the parallel suite/campaign sweeps are the only concurrent code paths).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) specs
 	$(GO) test -race -timeout 45m ./...
 
 # bench regenerates the committed kernel benchmark report (figures at the

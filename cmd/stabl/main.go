@@ -17,16 +17,21 @@
 //	recovery        recovery times after transient failures and partitions
 //	suite           multi-seed sweep over all systems and faults
 //	run             one experiment for -system and -fault
+//	scenario        one composed multi-phase fault scenario for -system:
+//	                a canned one (-scenario cascade, see -list) or a spec
+//	                file with a "scenario" block (-config)
+//	spec            validate spec files: stabl spec -validate <glob>...
 //	campaign        chaos campaign over a fault-space grid (-config spec)
 //	bench           kernel benchmark suite, written to BENCH_kernel.json
 //
 // Flags select the system, fault, seed and deployment size, and may come
 // before or after the command (`stabl campaign -config spec.json`); see
-// -help. With -metrics-out (run) or -metrics-dir (campaign), each run also
-// dumps its virtual-time instrumentation — JSONL and CSV interval metrics
-// plus an SVG timeline of latency, commit rate, fault markers and consensus
-// events. -cpuprofile and -memprofile write pprof profiles of any command
-// (most useful around run, campaign and bench).
+// -help. With -metrics-out (run, scenario) or -metrics-dir (campaign), each
+// run also dumps its virtual-time instrumentation — JSONL and CSV interval
+// metrics plus an SVG timeline of latency, commit rate, fault and scenario
+// phase markers and consensus events. -cpuprofile and -memprofile write
+// pprof profiles of any command (most useful around run, campaign and
+// bench).
 package main
 
 import (
@@ -63,6 +68,9 @@ func run(args []string, out io.Writer) error {
 		rate       = fs.Float64("rate", 40, "per-client send rate (tx/s)")
 		system     = fs.String("system", "Redbelly", "system for the run command")
 		fault      = fs.String("fault", "none", "fault for the run command: none|crash|transient|partition|secure-client|slow")
+		scenName   = fs.String("scenario", "", "canned scenario name for the scenario command (see `stabl scenario -list`)")
+		scenList   = fs.Bool("list", false, "scenario command: list the canned scenarios and exit")
+		validate   = fs.Bool("validate", false, "spec command: validate the spec files matching the given globs")
 		inject     = fs.Duration("inject", 133*time.Second, "fault injection time")
 		recover    = fs.Duration("recover", 266*time.Second, "fault recovery time")
 		bucket     = fs.Duration("bucket", 20*time.Second, "throughput rendering bucket")
@@ -93,7 +101,9 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(fs.Args()[1:]); err != nil {
 		return err
 	}
-	if fs.NArg() != 0 {
+	// Only the spec command takes positional operands (glob patterns).
+	operands := fs.Args()
+	if command != "spec" && len(operands) != 0 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one command, got %q and %q", command, fs.Arg(0))
 	}
@@ -342,6 +352,114 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, cmp)
 		fmt.Fprint(out, stabl.RenderThroughput(cmp, *bucket))
 		return writeSVG(*svgDir, fmt.Sprintf("run-%s-%s.svg", cmp.System, cmp.Fault.Kind), stabl.ThroughputSVG(cmp, 5*time.Second))
+	case "scenario":
+		if *scenList {
+			for _, name := range stabl.BuiltinScenarios() {
+				sc, err := stabl.BuiltinScenario(name, 0)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%-16s %s\n", name, sc.Description)
+			}
+			return nil
+		}
+		if *configPath != "" {
+			f, err := os.Open(*configPath)
+			if err != nil {
+				return err
+			}
+			loaded, err := stabl.LoadExperiment(f)
+			closeErr := f.Close()
+			if err != nil {
+				return err
+			}
+			if closeErr != nil {
+				return closeErr
+			}
+			if loaded.Scenario == nil {
+				return fmt.Errorf("scenario: %s has no \"scenario\" block (use the run command for single-fault specs)", *configPath)
+			}
+			cfg = loaded
+		} else {
+			if *scenName == "" {
+				return fmt.Errorf("scenario needs -scenario <name> (see `stabl scenario -list`) or -config <spec.json>")
+			}
+			sys, err := stabl.SystemByName(*system)
+			if err != nil {
+				return err
+			}
+			spec, err := stabl.BuiltinScenario(*scenName, *duration)
+			if err != nil {
+				return err
+			}
+			sc, err := spec.Build()
+			if err != nil {
+				return err
+			}
+			cfg.System = sys
+			cfg.Fault = stabl.FaultPlan{}
+			cfg.Scenario = sc
+		}
+		var rec *stabl.MetricsRecorder
+		if *metricsOut != "" {
+			rec = stabl.NewMetricsRecorder(*metricsInterval)
+			cfg.Metrics = rec
+		}
+		cmp, err := stabl.Compare(cfg)
+		if err != nil {
+			return err
+		}
+		base := fmt.Sprintf("scenario-%s-%s", cmp.System, cmp.Scenario)
+		if rec != nil {
+			title := fmt.Sprintf("%s under scenario %s", cmp.System, cmp.Scenario)
+			if err := writeMetrics(*metricsOut, base, rec, title); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			return stabl.NewReport(cmp).WriteJSON(out)
+		}
+		fmt.Fprintln(out, cmp)
+		fmt.Fprint(out, stabl.RenderThroughput(cmp, *bucket))
+		return writeSVG(*svgDir, base+".svg", stabl.ThroughputSVG(cmp, 5*time.Second))
+	case "spec":
+		if !*validate {
+			return fmt.Errorf("spec needs -validate, e.g. `stabl spec -validate 'specs/*.json'`")
+		}
+		patterns := operands
+		if len(patterns) == 0 {
+			patterns = []string{"specs/*.json", "specs/scenarios/*.json"}
+		}
+		var paths []string
+		for _, pat := range patterns {
+			matches, err := filepath.Glob(pat)
+			if err != nil {
+				return fmt.Errorf("spec: bad glob %q: %w", pat, err)
+			}
+			paths = append(paths, matches...)
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("spec: no files match %q", patterns)
+		}
+		failed := 0
+		for _, path := range paths {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			kind, err := stabl.ValidateSpec(f)
+			f.Close()
+			if err != nil {
+				failed++
+				fmt.Fprintf(out, "%-44s INVALID: %v\n", path, err)
+				continue
+			}
+			fmt.Fprintf(out, "%-44s ok (%s)\n", path, kind)
+		}
+		if failed > 0 {
+			return fmt.Errorf("spec: %d of %d files invalid", failed, len(paths))
+		}
+		return nil
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", cmd)

@@ -1,0 +1,74 @@
+package stabl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGoldenScenarioSeed42 pins the exact scores, commit counts and
+// scheduler-event counts of three shipped scenarios on two systems at seed 42.
+// Like TestGoldenSeed42Scores this is a determinism witness, but for the
+// scenario path specifically: scenario compilation (node-set resolution,
+// flap expansion), the loss/jitter degradation primitives, and the phase-
+// annotated run must all replay byte-for-byte across processes and machines.
+// A drift here means a change to the scenario engine or the degradation
+// send path altered the simulation, not just its shape.
+func TestGoldenScenarioSeed42(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario golden pin skipped in -short mode")
+	}
+	golden := []struct {
+		scenario string
+		system   string
+		score    float64
+		baseline int
+		altered  int
+		events   uint64
+	}{
+		{"cascade", "Redbelly", 46.478181554729247, 23890, 23902, 183029},
+		{"cascade", "Algorand", 144.9111227285656, 23593, 22854, 277024},
+		{"flap", "Redbelly", 11.731280873284817, 23890, 23895, 196596},
+		{"flap", "Algorand", 66.463353693062572, 23593, 23557, 285800},
+		{"lossy-wan", "Redbelly", 64.452424525005426, 23890, 23932, 167905},
+		{"lossy-wan", "Algorand", 204.75828807292032, 23593, 23192, 309473},
+	}
+	systems := map[string]func() System{
+		"Redbelly": NewRedbelly,
+		"Algorand": NewAlgorand,
+	}
+	for _, want := range golden {
+		spec, err := BuiltinScenario(want.scenario, 120*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", want.scenario, err)
+		}
+		sc, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", want.scenario, err)
+		}
+		cfg := Config{
+			Seed:     42,
+			Duration: 120 * time.Second,
+			System:   systems[want.system](),
+			Scenario: sc,
+		}
+		cmp, err := Compare(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", want.scenario, want.system, err)
+		}
+		if cmp.Score.Infinite {
+			t.Errorf("%s/%s: score became infinite, want %v", want.scenario, want.system, want.score)
+			continue
+		}
+		if cmp.Score.Value != want.score {
+			t.Errorf("%s/%s: score = %.17g, want %.17g", want.scenario, want.system, cmp.Score.Value, want.score)
+		}
+		if cmp.Baseline.UniqueCommits != want.baseline || cmp.Altered.UniqueCommits != want.altered {
+			t.Errorf("%s/%s: commits = %d/%d, want %d/%d", want.scenario, want.system,
+				cmp.Baseline.UniqueCommits, cmp.Altered.UniqueCommits, want.baseline, want.altered)
+		}
+		if cmp.Altered.Events != want.events {
+			t.Errorf("%s/%s: altered run fired %d events, want %d", want.scenario, want.system,
+				cmp.Altered.Events, want.events)
+		}
+	}
+}

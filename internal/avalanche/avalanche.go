@@ -639,8 +639,17 @@ func (v *validator) closeRound(inst *instance, seq uint64) {
 		return
 	}
 	// Flip to a competing proposal that reached alpha (Snowflake rule).
-	for slot, count := range inst.flips {
-		if count >= v.cfg.Alpha {
+	// Candidate slots are visited in ascending order: map iteration here
+	// would make the flip choice (and therefore the whole run) depend on
+	// Go's per-process map ordering when two competitors reach alpha in
+	// the same poll.
+	slots := make([]int, 0, len(inst.flips))
+	for slot := range inst.flips {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
+		if count := inst.flips[slot]; count >= v.cfg.Alpha {
 			if p, ok := v.proposals[inst.height]; ok && p.Slot == slot {
 				if p.Proposer != inst.pref.Proposer {
 					v.base.Consensus(metrics.EventLeaderChange, inst.height, p.Proposer, "preference flip")

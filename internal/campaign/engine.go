@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"stabl/internal/core"
 	"stabl/internal/metrics"
 	"stabl/internal/pool"
+	"stabl/internal/scenario"
 )
 
 // Options configure a campaign run. They are deliberately not part of the
@@ -87,6 +89,48 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	return aggregate(spec, results), nil
 }
 
+// Validate applies defaults, validates the spec and expands its grid
+// without executing anything, returning how many cells it would run. Every
+// scenario is additionally compiled against the spec's deployment, so node
+// sets that exceed the fault-eligible pool fail at lint time, not per cell.
+func Validate(spec Spec, resolve func(string) (chain.System, error)) (int, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return 0, err
+	}
+	validators := spec.Base.Validators
+	if validators == 0 {
+		validators = 10
+	}
+	clients := spec.Base.Clients
+	if clients == 0 {
+		clients = 5
+	}
+	for _, sc := range spec.Scenarios {
+		built, err := sc.Build()
+		if err != nil {
+			return 0, err
+		}
+		// Range checks do not depend on the drawn values, any source works.
+		_, err = built.Compile(scenario.Env{
+			Validators: validators,
+			Clients:    clients,
+			RNG:        func(string) *rand.Rand { return rand.New(rand.NewSource(1)) },
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	cells, err := expand(spec, resolve)
+	if err != nil {
+		return 0, err
+	}
+	if len(cells) == 0 {
+		return 0, fmt.Errorf("campaign: spec expands to zero cells")
+	}
+	return len(cells), nil
+}
+
 // runCell executes one cell: materialize its config, fetch (or compute) the
 // shared baseline, run the altered environment and digest the comparison.
 // Any panic inside the model run fails only this cell.
@@ -101,12 +145,24 @@ func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res 
 	cellSpec := spec.Base
 	cellSpec.System = cell.System
 	cellSpec.Seed = cell.Seed
-	cellSpec.Fault = core.FaultSpec{
-		Kind:       cell.Fault,
-		Count:      cell.Count,
-		InjectSec:  cell.InjectSec,
-		RecoverSec: cell.InjectSec + cell.OutageSec,
-		SlowBySec:  cell.SlowBySec,
+	if cell.Scenario != "" {
+		sc, ok := spec.scenarioByName(cell.Scenario)
+		if !ok {
+			res.Error = fmt.Sprintf("campaign: unknown scenario %q", cell.Scenario)
+			return res
+		}
+		scaled := sc.Scaled(cell.Intensity)
+		cellSpec.Scenario = &scaled
+		cellSpec.Fault = core.FaultSpec{}
+	} else {
+		cellSpec.Scenario = nil
+		cellSpec.Fault = core.FaultSpec{
+			Kind:       cell.Fault,
+			Count:      cell.Count,
+			InjectSec:  cell.InjectSec,
+			RecoverSec: cell.InjectSec + cell.OutageSec,
+			SlowBySec:  cell.SlowBySec,
+		}
 	}
 	cfg, err := cellSpec.Config(opts.Resolve)
 	if err != nil {

@@ -16,17 +16,24 @@ import (
 // faults that touch no validator (secure-client).
 type Cell struct {
 	System    string  `json:"system"`
-	Fault     string  `json:"fault"`
+	Fault     string  `json:"fault,omitempty"`
 	Count     int     `json:"count,omitempty"`
 	InjectSec float64 `json:"injectSec,omitempty"`
 	OutageSec float64 `json:"outageSec,omitempty"`
 	SlowBySec float64 `json:"slowBySec,omitempty"`
+	// Scenario / Intensity identify a scenario cell (Fault and the fault
+	// dimensions are empty then): the named spec scaled by Intensity.
+	Scenario  string  `json:"scenario,omitempty"`
+	Intensity float64 `json:"intensity,omitempty"`
 	Seed      int64   `json:"seed"`
 }
 
 // Key renders the cell's coordinate without the seed, the grouping unit for
 // cross-seed aggregation.
 func (c Cell) Key() string {
+	if c.Scenario != "" {
+		return fmt.Sprintf("%s/scenario:%s x%g", c.System, c.Scenario, c.Intensity)
+	}
 	return fmt.Sprintf("%s/%s f=%d inject=%gs outage=%gs slow=%gs",
 		c.System, c.Fault, c.Count, c.InjectSec, c.OutageSec, c.SlowBySec)
 }
@@ -37,6 +44,10 @@ func (c Cell) String() string { return fmt.Sprintf("%s seed=%d", c.Key(), c.Seed
 // Slug renders the full cell coordinate as a filesystem-safe unique name,
 // used for per-cell metrics dumps.
 func (c Cell) Slug() string {
+	if c.Scenario != "" {
+		return fmt.Sprintf("%s-scenario-%s-x%g-seed%d",
+			strings.ToLower(c.System), c.Scenario, c.Intensity, c.Seed)
+	}
 	return fmt.Sprintf("%s-%s-f%d-i%gs-o%gs-d%gs-seed%d",
 		strings.ToLower(c.System), c.Fault, c.Count,
 		c.InjectSec, c.OutageSec, c.SlowBySec, c.Seed)
@@ -97,6 +108,18 @@ func expand(spec Spec, resolve func(string) (chain.System, error)) ([]Cell, erro
 							}
 						}
 					}
+				}
+			}
+		}
+		for _, sc := range spec.Scenarios {
+			for _, intensity := range spec.Intensities {
+				for _, seed := range spec.Seeds {
+					cells = append(cells, Cell{
+						System:    sysName,
+						Scenario:  sc.Name,
+						Intensity: intensity,
+						Seed:      seed,
+					})
 				}
 			}
 		}

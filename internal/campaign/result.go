@@ -48,11 +48,13 @@ func (r *CellResult) String() string {
 // Point aggregates one fault-space coordinate across its seeds.
 type Point struct {
 	System    string  `json:"system"`
-	Fault     string  `json:"fault"`
+	Fault     string  `json:"fault,omitempty"`
 	Count     int     `json:"count,omitempty"`
 	InjectSec float64 `json:"injectSec,omitempty"`
 	OutageSec float64 `json:"outageSec,omitempty"`
 	SlowBySec float64 `json:"slowBySec,omitempty"`
+	Scenario  string  `json:"scenario,omitempty"`
+	Intensity float64 `json:"intensity,omitempty"`
 
 	Runs         int `json:"runs"`
 	FailedRuns   int `json:"failedRuns,omitempty"`
@@ -81,7 +83,8 @@ func (p *Point) severity() float64 {
 // String renders one aggregated coordinate.
 func (p *Point) String() string {
 	key := Cell{System: p.System, Fault: p.Fault, Count: p.Count,
-		InjectSec: p.InjectSec, OutageSec: p.OutageSec, SlowBySec: p.SlowBySec}.Key()
+		InjectSec: p.InjectSec, OutageSec: p.OutageSec, SlowBySec: p.SlowBySec,
+		Scenario: p.Scenario, Intensity: p.Intensity}.Key()
 	if p.FailedRuns+p.InfiniteRuns > 0 {
 		return fmt.Sprintf("%-44s inf/failed %d of %d runs", key, p.FailedRuns+p.InfiniteRuns, p.Runs)
 	}
@@ -101,8 +104,8 @@ type SurfacePoint struct {
 
 // Surface is one system's sensitivity marginal along one spec dimension.
 type Surface struct {
-	// Dimension is "fault", "count", "injectSec", "outageSec" or
-	// "slowBySec".
+	// Dimension is "fault", "scenario", "intensity", "count",
+	// "injectSec", "outageSec" or "slowBySec".
 	Dimension string         `json:"dimension"`
 	Points    []SurfacePoint `json:"points"`
 }
@@ -229,7 +232,8 @@ func aggregatePoints(cells []*CellResult) []*Point {
 		p := index[key]
 		if p == nil {
 			p = &Point{System: c.System, Fault: c.Fault, Count: c.Count,
-				InjectSec: c.InjectSec, OutageSec: c.OutageSec, SlowBySec: c.SlowBySec}
+				InjectSec: c.InjectSec, OutageSec: c.OutageSec, SlowBySec: c.SlowBySec,
+				Scenario: c.Scenario, Intensity: c.Intensity}
 			index[key] = p
 			points = append(points, p)
 		}
@@ -237,7 +241,8 @@ func aggregatePoints(cells []*CellResult) []*Point {
 	}
 	for _, p := range points {
 		key := Cell{System: p.System, Fault: p.Fault, Count: p.Count,
-			InjectSec: p.InjectSec, OutageSec: p.OutageSec, SlowBySec: p.SlowBySec}.Key()
+			InjectSec: p.InjectSec, OutageSec: p.OutageSec, SlowBySec: p.SlowBySec,
+			Scenario: p.Scenario, Intensity: p.Intensity}.Key()
 		fill(p, grouped[key])
 	}
 	return points
@@ -323,7 +328,13 @@ func summarizeSystem(name string, cells []*CellResult, points []*Point) *SystemS
 	}
 
 	sum.Surfaces = []Surface{
-		surface("fault", own, func(c *CellResult) (string, bool) { return c.Fault, true }),
+		surface("fault", own, func(c *CellResult) (string, bool) { return c.Fault, c.Fault != "" }),
+		surface("scenario", own, func(c *CellResult) (string, bool) {
+			return c.Scenario, c.Scenario != ""
+		}),
+		surface("intensity", own, func(c *CellResult) (string, bool) {
+			return fmt.Sprintf("x%g", c.Intensity), c.Scenario != ""
+		}),
 		surface("count", own, func(c *CellResult) (string, bool) {
 			return fmt.Sprintf("f=%d", c.Count), c.Count > 0
 		}),

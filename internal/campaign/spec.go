@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"stabl/internal/core"
+	"stabl/internal/scenario"
 )
 
 // Spec is the JSON-serializable description of a campaign, the counterpart
@@ -49,6 +50,15 @@ type Spec struct {
 	// SlowBySecs are per-interface delays for the slow fault; defaults to
 	// {30}.
 	SlowBySecs []float64 `json:"slowBySecs,omitempty"`
+	// Scenarios are composed multi-phase fault timelines (see
+	// internal/scenario) swept alongside — or, when Faults is empty,
+	// instead of — the single-fault kinds. Each scenario expands into one
+	// cell per intensity per seed.
+	Scenarios []scenario.Spec `json:"scenarios,omitempty"`
+	// Intensities scale every scenario's degradation magnitudes (loss
+	// rate, slow delay, jitter bound) via scenario.Spec.Scaled; defaults
+	// to {1}. Ignored when Scenarios is empty.
+	Intensities []float64 `json:"intensities,omitempty"`
 	// Seeds repeat every coordinate; defaults to {1, 2, 3}.
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Sample, when positive and smaller than the full grid, runs only a
@@ -60,8 +70,8 @@ type Spec struct {
 	// same cells.
 	SampleSeed int64 `json:"sampleSeed,omitempty"`
 	// Base is the deployment template shared by every cell (validators,
-	// clients, rate, duration, profile, …). Its system, seed and fault
-	// fields are ignored: the campaign dimensions override them.
+	// clients, rate, duration, profile, …). Its system, seed, fault and
+	// scenario fields are ignored: the campaign dimensions override them.
 	Base core.Spec `json:"base,omitempty"`
 }
 
@@ -84,11 +94,16 @@ func (s Spec) WriteJSON(w io.Writer) error {
 }
 
 func (s Spec) withDefaults() Spec {
-	if len(s.Faults) == 0 {
+	// A spec that sweeps only scenarios gets no implicit single-fault
+	// cells; the classic fault default applies to everything else.
+	if len(s.Faults) == 0 && len(s.Scenarios) == 0 {
 		s.Faults = []string{
 			core.FaultCrash.String(), core.FaultTransient.String(),
 			core.FaultPartition.String(), core.FaultSlow.String(),
 		}
+	}
+	if len(s.Intensities) == 0 {
+		s.Intensities = []float64{1}
 	}
 	if len(s.CountDeltas) == 0 {
 		s.CountDeltas = []int{0}
@@ -135,5 +150,31 @@ func (s Spec) validate() error {
 	if s.Sample < 0 {
 		return fmt.Errorf("campaign: sample must be non-negative, got %d", s.Sample)
 	}
+	seen := make(map[string]bool, len(s.Scenarios))
+	for _, sc := range s.Scenarios {
+		if _, err := sc.Build(); err != nil {
+			return err
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("campaign: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	for _, v := range s.Intensities {
+		if v <= 0 {
+			return fmt.Errorf("campaign: intensities must be positive, got %v", v)
+		}
+	}
 	return nil
+}
+
+// scenarioByName finds the named scenario spec, the lookup runCell uses to
+// materialize a scenario cell.
+func (s Spec) scenarioByName(name string) (scenario.Spec, bool) {
+	for _, sc := range s.Scenarios {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return scenario.Spec{}, false
 }

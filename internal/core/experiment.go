@@ -7,12 +7,14 @@ package core
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"stabl/internal/chain"
 	"stabl/internal/client"
 	"stabl/internal/metrics"
 	"stabl/internal/observer"
+	"stabl/internal/scenario"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 	"stabl/internal/stats"
@@ -104,6 +106,12 @@ type Config struct {
 	MaxRetries int
 	Latency    simnet.LatencyModel
 	Fault      FaultPlan
+	// Scenario, when set, replaces the single-fault plan with a composed
+	// multi-phase fault timeline (crash/partition/slow/loss/jitter/flap
+	// actions over node sets, see internal/scenario). Mutually exclusive
+	// with a non-none Fault.Kind: a config may describe its adversarial
+	// environment as one paper-style fault or as a scenario, never both.
+	Scenario *scenario.Scenario
 	// ReadRate, when positive, deploys one credence.js-style verified
 	// reader per client: each issues ReadRate account reads per second
 	// to Tolerance+1 validators and accepts a value only on unanimity
@@ -168,12 +176,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate reports whether the materialized config (with defaults applied)
+// describes a runnable experiment, without running it. The CLI's
+// `stabl spec -validate` uses it to lint spec files.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	return c.validate()
+}
+
 func (c Config) validate() error {
 	if c.System == nil {
 		return fmt.Errorf("core: config needs a System")
 	}
 	if c.Clients > c.Validators {
 		return fmt.Errorf("core: %d clients need at most %d validators", c.Clients, c.Validators)
+	}
+	if c.Scenario != nil {
+		if c.Fault.Kind != FaultNone {
+			return fmt.Errorf("core: config sets both Fault (%s) and Scenario (%s); they are mutually exclusive",
+				c.Fault.Kind, c.Scenario.Name)
+		}
+		// Compiling validates node ranges and pool sizes against this
+		// deployment; the result is discarded (Run compiles again).
+		if _, err := c.compileScenario(); err != nil {
+			return err
+		}
 	}
 	f := c.faultCount()
 	if f > c.Validators-c.Clients && c.Fault.Kind.NeedsNodes() {
@@ -323,6 +350,16 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	faulty := cfg.faultyNodes()
 	script := cfg.faultScript(faulty)
+	var compiled *scenario.Compiled
+	if cfg.Scenario != nil {
+		var err error
+		compiled, err = cfg.compileScenario()
+		if err != nil {
+			return nil, err
+		}
+		faulty = compiled.Affected
+		script = compiled.Script
+	}
 	net.AddNode(primaryID, observer.NewPrimary(script, mapping))
 
 	// Clients.
@@ -368,7 +405,7 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 
 	if rec != nil {
-		cfg.describeRun(rec, faulty)
+		cfg.describeRun(rec, faulty, compiled)
 		// Periodic gauge sampling: chain-side backlog (mempool depth),
 		// client-side backlog (in-flight submissions) and chain height.
 		// The sampler only reads state — no messages, no RNG — so the
@@ -423,9 +460,25 @@ func Run(cfg Config) (*RunResult, error) {
 	return res, nil
 }
 
+// compileScenario lowers cfg.Scenario onto this deployment. Random node
+// selectors draw from a stream derived purely from (cfg.Seed, action index),
+// so compiling here, in validate and in CompareWithBaseline always resolves
+// the same nodes, and compiling never perturbs the simulation's own streams.
+func (c Config) compileScenario() (*scenario.Compiled, error) {
+	sched := sim.New(c.Seed)
+	return c.Scenario.Compile(scenario.Env{
+		Validators: c.Validators,
+		Clients:    c.Clients,
+		RNG: func(name string) *rand.Rand {
+			return sched.RNG("scenario/" + name)
+		},
+	})
+}
+
 // describeRun stamps the recorder with the run's identity and annotates the
-// timeline with the fault plan's inject/recover instants.
-func (c Config) describeRun(rec *metrics.Recorder, faulty []simnet.NodeID) {
+// timeline with the fault plan's inject/recover instants — or, for scenario
+// runs, with one phase annotation per compiled timeline step.
+func (c Config) describeRun(rec *metrics.Recorder, faulty []simnet.NodeID, compiled *scenario.Compiled) {
 	info := metrics.RunInfo{
 		System:     c.System.Name(),
 		Seed:       c.Seed,
@@ -433,6 +486,33 @@ func (c Config) describeRun(rec *metrics.Recorder, faulty []simnet.NodeID) {
 		Validators: c.Validators,
 		Clients:    c.Clients,
 		Duration:   c.Duration,
+	}
+	if compiled != nil {
+		info.Fault = "scenario:" + c.Scenario.Name
+		info.InjectAt = compiled.FirstDisrupt
+		info.RecoverAt = compiled.LastRevert
+		rec.SetRun(info)
+		for _, ph := range compiled.Phases {
+			rec.AddEvent(metrics.Event{
+				At: ph.At, Kind: metrics.EventPhase,
+				Node: -1, Round: -1, Leader: -1, Detail: ph.Label,
+			})
+		}
+		if compiled.FirstDisrupt > 0 {
+			rec.AddEvent(metrics.Event{
+				At: compiled.FirstDisrupt, Kind: metrics.EventFaultInject,
+				Node: -1, Round: -1, Leader: -1,
+				Detail: fmt.Sprintf("scenario %s f=%d", c.Scenario.Name, len(faulty)),
+			})
+		}
+		if compiled.LastRevert > 0 {
+			rec.AddEvent(metrics.Event{
+				At: compiled.LastRevert, Kind: metrics.EventFaultRecover,
+				Node: -1, Round: -1, Leader: -1,
+				Detail: fmt.Sprintf("scenario %s last revert", c.Scenario.Name),
+			})
+		}
+		return
 	}
 	if c.Fault.Kind.NeedsNodes() {
 		info.InjectAt = c.Fault.InjectAt

@@ -296,6 +296,32 @@ func TestFaultKindString(t *testing.T) {
 		if kind.String() != want {
 			t.Fatalf("String(%d) = %q", int(kind), kind.String())
 		}
+		// Every named kind round-trips through ParseFaultKind.
+		if kind == FaultKind(42) {
+			continue
+		}
+		back, err := ParseFaultKind(want)
+		if err != nil || back != kind {
+			t.Fatalf("ParseFaultKind(%q) = %v, %v; want %v", want, back, err, kind)
+		}
+	}
+	// FaultSlow is spelled "slow" and round-trips too.
+	if FaultSlow.String() != "slow" {
+		t.Fatalf("FaultSlow = %q", FaultSlow)
+	}
+	if back, err := ParseFaultKind("slow"); err != nil || back != FaultSlow {
+		t.Fatalf("ParseFaultKind(slow) = %v, %v", back, err)
+	}
+	// An unknown kind's error lists the valid names and points composite
+	// faults at scenario specs.
+	_, err := ParseFaultKind("cascade")
+	if err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+	for _, part := range []string{"crash", "scenario spec"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Fatalf("error %q does not mention %q", err, part)
+		}
 	}
 }
 

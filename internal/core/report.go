@@ -39,8 +39,11 @@ func NewRunReport(res *RunResult) RunReport {
 // Report is the JSON-friendly digest of a sensitivity comparison, the unit
 // STABL emits into a CI pipeline.
 type Report struct {
-	System      string    `json:"system"`
-	Fault       string    `json:"fault"`
+	System string `json:"system"`
+	Fault  string `json:"fault"`
+	// Scenario names the composed fault timeline for scenario runs (Fault
+	// is "none" then).
+	Scenario    string    `json:"scenario,omitempty"`
 	Score       float64   `json:"score"`
 	Infinite    bool      `json:"infinite"`
 	Benefit     bool      `json:"benefit"`
@@ -56,6 +59,7 @@ func NewReport(cmp *Comparison) Report {
 	return Report{
 		System:      cmp.System,
 		Fault:       cmp.Fault.Kind.String(),
+		Scenario:    cmp.Scenario,
 		Score:       cmp.Score.Value,
 		Infinite:    cmp.Score.Infinite,
 		Benefit:     cmp.Score.Benefit,

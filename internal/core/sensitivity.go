@@ -23,8 +23,11 @@ const SecureResourceScale = 2.0
 // Comparison is the outcome of a baseline-vs-altered sensitivity
 // measurement.
 type Comparison struct {
-	System   string
-	Fault    FaultPlan
+	System string
+	Fault  FaultPlan
+	// Scenario names the composed fault timeline when the altered run was
+	// a scenario experiment instead of a single-fault plan.
+	Scenario string
 	Baseline *RunResult
 	Altered  *RunResult
 	// Score is the sensitivity score of §3; Infinite when the altered
@@ -32,9 +35,12 @@ type Comparison struct {
 	Score stats.Score
 	// Recovered / RecoveryTime report how quickly throughput returned to
 	// a sustained fraction of the baseline after RecoverAt (only
-	// meaningful for transient and partition faults).
-	Recovered    bool
-	RecoveryTime time.Duration
+	// meaningful for recovering faults, and for scenarios that revert at
+	// least one disruption — RecoveryMeasured tells the latter apart from
+	// scenarios that never heal).
+	Recovered        bool
+	RecoveryTime     time.Duration
+	RecoveryMeasured bool
 }
 
 // SensitivityGridStep is the eCDF grid step in seconds used for the score.
@@ -59,6 +65,7 @@ const (
 func BaselineConfig(cfg Config) Config {
 	cfg = cfg.withDefaults()
 	cfg.Fault = FaultPlan{Kind: FaultNone}
+	cfg.Scenario = nil
 	cfg.Fanout = 1
 	// A recorder instruments one run; the altered run keeps it, the
 	// baseline must not write into the same one.
@@ -78,7 +85,7 @@ func SteadyStateRate(baseline *RunResult, injectAt time.Duration) float64 {
 }
 
 // Compare runs the baseline and the altered environment described by
-// cfg.Fault and computes the sensitivity score.
+// cfg.Fault (or cfg.Scenario) and computes the sensitivity score.
 func Compare(cfg Config) (*Comparison, error) {
 	cfg = cfg.withDefaults()
 	if cfg.System == nil {
@@ -92,8 +99,9 @@ func Compare(cfg Config) (*Comparison, error) {
 }
 
 // CompareWithBaseline runs only the altered environment described by
-// cfg.Fault and scores it against a precomputed baseline run, which must
-// come from BaselineConfig(cfg) (same deployment, same seed).
+// cfg.Fault or cfg.Scenario and scores it against a precomputed baseline
+// run, which must come from BaselineConfig(cfg) (same deployment, same
+// seed).
 func CompareWithBaseline(cfg Config, baseline *RunResult) (*Comparison, error) {
 	cfg = cfg.withDefaults()
 	if cfg.System == nil {
@@ -124,14 +132,34 @@ func CompareWithBaseline(cfg Config, baseline *RunResult) (*Comparison, error) {
 		Baseline: baseline,
 		Altered:  altered,
 	}
+	if cfg.Scenario != nil {
+		cmp.Scenario = cfg.Scenario.Name
+	}
 	cmp.Score = stats.Sensitivity(baseline.Latencies, altered.Latencies, SensitivityGridStep)
 	if altered.LivenessLost {
 		cmp.Score.Infinite = true
 	}
-	if cfg.Fault.Kind.Recovers() {
+	switch {
+	case cfg.Scenario != nil:
+		// Recovery for scenarios is measured from the last instant any
+		// disruption is reverted, against the steady rate before the first
+		// one hit. Compiling here replays the exact node selection of the
+		// altered run: the derivation is pure, keyed only on (seed, action).
+		compiled, err := altCfg.compileScenario()
+		if err != nil {
+			return nil, err
+		}
+		if compiled.LastRevert > 0 {
+			ref := SteadyStateRate(baseline, compiled.FirstDisrupt)
+			cmp.RecoveryTime, cmp.Recovered = altered.Throughput.RecoveryTime(
+				compiled.LastRevert, ref, RecoveryFraction, RecoveryWindow)
+			cmp.RecoveryMeasured = true
+		}
+	case cfg.Fault.Kind.Recovers():
 		ref := SteadyStateRate(baseline, cfg.Fault.InjectAt)
 		cmp.RecoveryTime, cmp.Recovered = altered.Throughput.RecoveryTime(
 			cfg.Fault.RecoverAt, ref, RecoveryFraction, RecoveryWindow)
+		cmp.RecoveryMeasured = true
 	}
 	return cmp, nil
 }
@@ -139,12 +167,16 @@ func CompareWithBaseline(cfg Config, baseline *RunResult) (*Comparison, error) {
 // String renders a comparison as one row of Fig 3.
 func (c *Comparison) String() string {
 	rec := ""
-	if c.Fault.Kind.Recovers() {
+	if c.Fault.Kind.Recovers() || c.RecoveryMeasured {
 		if c.Recovered {
 			rec = fmt.Sprintf(" recovery=%.0fs", c.RecoveryTime.Seconds())
 		} else {
 			rec = " recovery=never"
 		}
 	}
-	return fmt.Sprintf("%-10s %-13s score=%s%s", c.System, c.Fault.Kind, c.Score, rec)
+	env := c.Fault.Kind.String()
+	if c.Scenario != "" {
+		env = "scenario:" + c.Scenario
+	}
+	return fmt.Sprintf("%-10s %-13s score=%s%s", c.System, env, c.Score, rec)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/scenario"
 	"stabl/internal/workload"
 )
 
@@ -33,7 +34,10 @@ type Spec struct {
 	ReadRate          float64      `json:"readRate,omitempty"`
 	RetryAfterSec     float64      `json:"retryAfterSec,omitempty"`
 	Fault             FaultSpec    `json:"fault,omitempty"`
-	Profile           *ProfileSpec `json:"profile,omitempty"`
+	// Scenario composes a multi-phase fault timeline instead of the single
+	// fault plan above; mutually exclusive with a non-empty fault kind.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	Profile  *ProfileSpec   `json:"profile,omitempty"`
 }
 
 // FaultSpec is the JSON form of a FaultPlan.
@@ -109,6 +113,13 @@ func (s Spec) Config(resolve func(string) (chain.System, error)) (Config, error)
 		}
 		cfg.Fault.Kind = kind
 	}
+	if s.Scenario != nil {
+		sc, err := s.Scenario.Build()
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Scenario = sc
+	}
 	if s.Profile != nil {
 		profile, err := s.Profile.build()
 		if err != nil {
@@ -127,15 +138,20 @@ func FaultKinds() []FaultKind {
 	}
 }
 
-// ParseFaultKind is the inverse of FaultKind.String. It is the one canonical
-// name mapping, shared by JSON specs, the CLI and campaign specs.
+// ParseFaultKind is the inverse of FaultKind.String: every kind round-trips
+// through its canonical name (ParseFaultKind(k.String()) == k). It is the
+// one canonical name mapping, shared by JSON specs, the CLI and campaign
+// specs. Composite or time-varying perturbations (crash waves, flapping
+// links, loss/jitter) have no FaultKind — express those as a scenario spec
+// instead (see internal/scenario and the spec's "scenario" block).
 func ParseFaultKind(name string) (FaultKind, error) {
 	for _, kind := range FaultKinds() {
 		if kind.String() == name {
 			return kind, nil
 		}
 	}
-	return FaultNone, fmt.Errorf("core: unknown fault kind %q (valid: %s)", name, faultKindNames())
+	return FaultNone, fmt.Errorf("core: unknown fault kind %q (valid: %s; for composite faults use a scenario spec)",
+		name, faultKindNames())
 }
 
 // faultKindNames renders every valid fault kind as a "a|b|c" list.

@@ -91,6 +91,28 @@ func wrapFig(f func(stabl.Config) ([]*stabl.Comparison, error)) func(stabl.Confi
 	}
 }
 
+// wrapScenario replays one builtin scenario (laid out over the run
+// duration) against a fresh system instance and reports the event count.
+func wrapScenario(name string, newSystem func() stabl.System) func(stabl.Config) (uint64, error) {
+	return func(cfg stabl.Config) (uint64, error) {
+		spec, err := stabl.BuiltinScenario(name, cfg.Duration)
+		if err != nil {
+			return 0, err
+		}
+		sc, err := spec.Build()
+		if err != nil {
+			return 0, err
+		}
+		cfg.System = newSystem()
+		cfg.Scenario = sc
+		cmp, err := stabl.Compare(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return sumEvents([]*stabl.Comparison{cmp}), nil
+	}
+}
+
 func figureSuite(full bool) []figureRunner {
 	figs := []figureRunner{
 		// Fig 1 is the Aptos crash comparison; replaying it through
@@ -112,6 +134,12 @@ func figureSuite(full bool) []figureRunner {
 		{"Fig4CrashThroughput", wrapFig(stabl.Fig4)},
 		{"Fig5TransientThroughput", wrapFig(stabl.Fig5)},
 		{"Fig6PartitionThroughput", wrapFig(stabl.Fig6)},
+		// Scenario replays: the lossy-WAN one exercises the loss/jitter
+		// hot path for half the run, the cascade one the crash machinery;
+		// both pay the degradation gate checks on every other message, so
+		// regressions in the fast-path gating show up here first.
+		{"ScenarioLossyWAN", wrapScenario("lossy-wan", stabl.NewRedbelly)},
+		{"ScenarioCascade", wrapScenario("cascade", stabl.NewRedbelly)},
 	}
 	if full {
 		figs = append(figs, figureRunner{"Fig7Radar", func(cfg stabl.Config) (uint64, error) {
@@ -146,6 +174,7 @@ func microSuite() []struct {
 		{"SchedulerMixed", BenchSchedulerMixed},
 		{"SchedulerRNG", BenchSchedulerRNG},
 		{"SendDeliver", BenchSendDeliver},
+		{"SendDegraded", BenchSendDegraded},
 		{"SendPartitionHeavy", BenchSendPartitionHeavy},
 		{"SendChurnHeavy", BenchSendChurnHeavy},
 		{"ContextRNG", BenchContextRNG},

@@ -23,8 +23,8 @@ func TestFigureReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 8 {
-		t.Fatalf("entries = %d, want 8 figure replays", len(rep.Entries))
+	if len(rep.Entries) != 10 {
+		t.Fatalf("entries = %d, want 8 figure replays plus 2 scenario replays", len(rep.Entries))
 	}
 	if len(names) != len(rep.Entries) {
 		t.Fatalf("progress calls = %d, entries = %d", len(names), len(rep.Entries))

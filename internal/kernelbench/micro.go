@@ -144,6 +144,35 @@ func BenchSendDeliver(b *testing.B) {
 	reportRate(b, uint64(b.N)*batch, "msgs/s")
 }
 
+// BenchSendDegraded measures the send→deliver path with loss and jitter
+// rules installed on both endpoints — the regime of lossy-WAN scenarios.
+// Compared against BenchSendDeliver (identical workload, no rules), the
+// difference is the degradation cost; the no-rule path itself must stay
+// within noise of the pre-degradation kernel, because its only overhead is
+// two integer gate checks.
+func BenchSendDegraded(b *testing.B) {
+	const batch = 512
+	sched, net, hs := benchNet(2)
+	net.SetLoss(0, 0.05)
+	net.SetJitter(1, 2*time.Millisecond)
+	payload := struct{ X int }{7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			hs[0].ctx.Send(1, payload)
+		}
+		for sched.Step() {
+		}
+	}
+	b.StopTimer()
+	total := hs[1].delivered + int(net.Stats().DroppedLoss)
+	if total != b.N*batch {
+		b.Fatalf("delivered %d + lost %d, want %d", hs[1].delivered, net.Stats().DroppedLoss, b.N*batch)
+	}
+	reportRate(b, uint64(b.N)*batch, "msgs/s")
+}
+
 // BenchSendPartitionHeavy measures sends while many partition rules are
 // installed — the regime of campaign partition sweeps, where the seed kernel
 // scanned every rule per message.

@@ -49,6 +49,9 @@ const (
 	EventFaultInject
 	// EventFaultRecover annotates the experiment's fault recovery time.
 	EventFaultRecover
+	// EventPhase annotates one step of a scenario timeline (crash wave,
+	// flap cycle, degradation rule install/clear — see internal/scenario).
+	EventPhase
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +69,8 @@ func (k EventKind) String() string {
 		return "fault-inject"
 	case EventFaultRecover:
 		return "fault-recover"
+	case EventPhase:
+		return "phase"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

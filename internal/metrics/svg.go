@@ -45,6 +45,8 @@ func TimelineSVG(r *Recorder, title string) string {
 			chart.VLines = append(chart.VLines, plot.VLine{X: ev.At.Seconds(), Label: "inject", Color: "#d62728"})
 		case EventFaultRecover:
 			chart.VLines = append(chart.VLines, plot.VLine{X: ev.At.Seconds(), Label: "recover", Color: "#2ca02c"})
+		case EventPhase:
+			chart.VLines = append(chart.VLines, plot.VLine{X: ev.At.Seconds(), Label: ev.Detail, Color: "#9467bd"})
 		}
 	}
 	if info := r.Run(); info.Duration > 0 {

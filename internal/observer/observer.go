@@ -31,6 +31,16 @@ type (
 	}
 	// FastSignal removes the delay rule.
 	FastSignal struct{}
+	// LossSignal installs a tc-netem probabilistic-loss rule on the
+	// node's interface (rate 0 removes it).
+	LossSignal struct {
+		Rate float64
+	}
+	// JitterSignal installs a tc-netem delay-variation rule on the node's
+	// interface (bound 0 removes it).
+	JitterSignal struct {
+		Bound time.Duration
+	}
 	// AckSignal reports an executed action back to the primary.
 	AckSignal struct {
 		Action string
@@ -95,6 +105,14 @@ func (o *Observer) Deliver(from simnet.NodeID, payload any) {
 		o.net.SetExtraDelay(o.target, 0)
 		o.log = append(o.log, "fast")
 		o.ctx.Send(from, AckSignal{Action: "fast"})
+	case LossSignal:
+		o.net.SetLoss(o.target, sig.Rate)
+		o.log = append(o.log, "loss")
+		o.ctx.Send(from, AckSignal{Action: "loss"})
+	case JitterSignal:
+		o.net.SetJitter(o.target, sig.Bound)
+		o.log = append(o.log, "jitter")
+		o.ctx.Send(from, AckSignal{Action: "jitter"})
 	}
 }
 
@@ -122,6 +140,13 @@ type Action struct {
 	Slow   []simnet.NodeID
 	SlowBy time.Duration
 	Fast   []simnet.NodeID
+	// Loss lists nodes whose observers install a LossRate packet-loss
+	// rule (LossRate 0 removes it); Jitter lists nodes whose observers
+	// install a JitterBy delay-variation rule (JitterBy 0 removes it).
+	Loss     []simnet.NodeID
+	LossRate float64
+	Jitter   []simnet.NodeID
+	JitterBy time.Duration
 }
 
 // Primary is the coordinator machine: it owns the fault script and signals
@@ -187,6 +212,12 @@ func (p *Primary) execute(act Action) {
 	}
 	for _, node := range act.Fast {
 		p.signal(node, FastSignal{})
+	}
+	for _, node := range act.Loss {
+		p.signal(node, LossSignal{Rate: act.LossRate})
+	}
+	for _, node := range act.Jitter {
+		p.signal(node, JitterSignal{Bound: act.JitterBy})
 	}
 }
 

@@ -616,8 +616,17 @@ func (v *validator) resendRound() {
 	if txs, ok := st.proposals[v.base.ID]; ok {
 		v.ctx.Broadcast(v.base.Peers, proposalMsg{Round: v.round, Proposer: v.base.ID, Txs: txs})
 	}
-	for sub, est := range st.myVote {
-		if est != nil {
+	// Resend votes in ascending sub-round order: each send samples the
+	// shared latency (and degradation) RNG streams, so iterating the map
+	// directly would let Go's randomized map order desync otherwise
+	// identical runs whenever a round reaches sub-round 1.
+	subs := make([]int, 0, len(st.myVote))
+	for sub := range st.myVote {
+		subs = append(subs, sub)
+	}
+	sort.Ints(subs)
+	for _, sub := range subs {
+		if est := st.myVote[sub]; est != nil {
 			v.ctx.Broadcast(v.base.Peers, voteMsg{Round: v.round, Sub: sub, Voter: v.base.ID, Est: est, Resend: true})
 		}
 	}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Builtins returns the names of the canned scenarios, sorted.
+func Builtins() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns a canned scenario spec laid out over a run of the given
+// total duration: the timeline instants are fixed fractions of the run, so
+// the same scenario shape works for the paper's 400 s experiments and for
+// short CI runs alike.
+func Builtin(name string, duration time.Duration) (Spec, error) {
+	build, ok := builtins[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, Builtins())
+	}
+	if duration <= 0 {
+		duration = 400 * time.Second
+	}
+	return build(duration.Seconds()), nil
+}
+
+var builtins = map[string]func(d float64) Spec{
+	// cascade models a cascading outage: one node dies, then two more,
+	// then another, and operators only bring the fleet back much later.
+	// Fault mass accumulates instead of arriving in the single step the
+	// paper's transient fault injects.
+	"cascade": func(d float64) Spec {
+		return Spec{
+			Name:        "cascade",
+			Description: "cascading crashes: 1, then 2, then 1 more node die in waves and all reboot together",
+			Actions: []ActionSpec{
+				{Op: "crash", AtSec: frac(d, 0.25), Nodes: "random(1)", UntilSec: frac(d, 0.70)},
+				{Op: "crash", AtSec: frac(d, 0.35), Nodes: "random(2)", UntilSec: frac(d, 0.70)},
+				{Op: "crash", AtSec: frac(d, 0.45), Nodes: "random(1)", UntilSec: frac(d, 0.70)},
+			},
+		}
+	},
+	// flap models a flapping trunk link: a partition that repeatedly
+	// installs and heals, the pattern BGP route flapping or a failing
+	// switch port produces. Sustained-outage recovery logic (reconnect
+	// backoff, view changes) is re-triggered on every cycle.
+	"flap": func(d float64) Spec {
+		return Spec{
+			Name:        "flap",
+			Description: "flapping partition: 4 nodes repeatedly cut off and reconnected",
+			Actions: []ActionSpec{
+				{Op: "flap", AtSec: frac(d, 0.30), Nodes: "random(4)", UntilSec: frac(d, 0.70), PeriodSec: frac(d, 0.10)},
+			},
+		}
+	},
+	// lossy-wan models a degraded wide-area network: every interface
+	// drops a few percent of packets and adds seconds of jitter, without
+	// any node ever failing. The paper's fault model cannot express this
+	// at all — no process dies and no link is fully cut.
+	"lossy-wan": func(d float64) Spec {
+		return Spec{
+			Name:        "lossy-wan",
+			Description: "lossy, jittery WAN: 3% loss and ±2s jitter on every interface for half the run",
+			Actions: []ActionSpec{
+				{Op: "loss", AtSec: frac(d, 0.25), Nodes: "all", Rate: 0.03, UntilSec: frac(d, 0.75)},
+				{Op: "jitter", AtSec: frac(d, 0.25), Nodes: "all", JitterSec: 2, UntilSec: frac(d, 0.75)},
+			},
+		}
+	},
+	// rolling-restart models a maintenance rollout: the client-free
+	// validators reboot in pairs, each pair down for one stagger window.
+	"rolling-restart": func(d float64) Spec {
+		return Spec{
+			Name:        "rolling-restart",
+			Description: "maintenance rollout: client-free validators restart in pairs, one pair per window",
+			Actions: []ActionSpec{
+				{Op: "crash", AtSec: frac(d, 0.30), Nodes: fmt.Sprintf("rolling(2, %g)", frac(d, 0.10))},
+			},
+		}
+	},
+}
+
+// frac returns f·d, rounded to a whole second on experiment-scale runs to
+// keep generated spec files and phase labels readable. Short smoke runs
+// keep the exact fraction — rounding there would collapse distinct
+// timeline instants onto each other.
+func frac(d, f float64) float64 {
+	v := d * f
+	if d < 60 {
+		return v
+	}
+	return float64(int(v + 0.5))
+}

@@ -15,6 +15,7 @@ import (
 //	go test -bench=. -benchmem ./internal/simnet
 
 func BenchmarkSendDeliver(b *testing.B)        { kernelbench.BenchSendDeliver(b) }
+func BenchmarkSendDegraded(b *testing.B)       { kernelbench.BenchSendDegraded(b) }
 func BenchmarkSendPartitionHeavy(b *testing.B) { kernelbench.BenchSendPartitionHeavy(b) }
 func BenchmarkSendChurnHeavy(b *testing.B)     { kernelbench.BenchSendChurnHeavy(b) }
 func BenchmarkContextRNG(b *testing.B)         { kernelbench.BenchContextRNG(b) }

@@ -323,6 +323,12 @@ func (cm *connManager) sendControl(from, to NodeID, payload any) {
 	if !src.up || n.Blocked(from, to) || !dst.up {
 		return
 	}
+	// Injected loss hits control traffic too (a netem rule cannot tell a
+	// heartbeat from a block): lossy links therefore also churn the
+	// connection layer, like in a real deployment.
+	if n.lossyIfaces > 0 && n.lost(from, to) {
+		return
+	}
 	d := n.newDelivery()
 	d.dst = dst
 	d.from = from

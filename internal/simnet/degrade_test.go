@@ -1,0 +1,183 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"stabl/internal/sim"
+)
+
+// The degradation tests cover the loss/jitter primitives the scenario engine
+// drives: rate clamping, drop accounting, jitter bounds, determinism across
+// identically-seeded runs, and — most importantly — that a network which sets
+// every knob to zero behaves bit-for-bit like one that never touched them
+// (the zero-overhead contract the send fast path promises).
+
+func TestSetLossClampsAndCounts(t *testing.T) {
+	_, net, _ := newTestNet(t, 2, FixedLatency(time.Millisecond))
+	net.SetLoss(0, -0.5)
+	if got := net.Loss(0); got != 0 {
+		t.Fatalf("negative rate clamped to %g, want 0", got)
+	}
+	net.SetLoss(0, 1.7)
+	if got := net.Loss(0); got != 1 {
+		t.Fatalf("oversized rate clamped to %g, want 1", got)
+	}
+	if net.lossyIfaces != 1 {
+		t.Fatalf("lossyIfaces = %d after one install, want 1", net.lossyIfaces)
+	}
+	net.SetLoss(0, 0)
+	if net.lossyIfaces != 0 {
+		t.Fatalf("lossyIfaces = %d after clear, want 0", net.lossyIfaces)
+	}
+	// Clearing an already-clear interface must not underflow the gate.
+	net.SetLoss(0, 0)
+	if net.lossyIfaces != 0 {
+		t.Fatalf("lossyIfaces = %d after double clear, want 0", net.lossyIfaces)
+	}
+}
+
+func TestLossOneDropsEverything(t *testing.T) {
+	sched, net, hs := newTestNet(t, 2, FixedLatency(time.Millisecond))
+	net.StartAll()
+	net.SetLoss(1, 1)
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		hs[0].ctx.Send(1, i)
+	}
+	sched.RunUntil(time.Second)
+	if len(hs[1].received) != 0 {
+		t.Fatalf("delivered %d messages through a p=1 interface", len(hs[1].received))
+	}
+	if got := net.Stats().DroppedLoss; got != msgs {
+		t.Fatalf("DroppedLoss = %d, want %d", got, msgs)
+	}
+}
+
+func TestLossRateRoughlyHolds(t *testing.T) {
+	sched, net, hs := newTestNet(t, 2, FixedLatency(time.Millisecond))
+	net.StartAll()
+	// 0.2 on each endpoint combines to 1 - 0.8² = 0.36.
+	net.SetLoss(0, 0.2)
+	net.SetLoss(1, 0.2)
+	const msgs = 5000
+	for i := 0; i < msgs; i++ {
+		hs[0].ctx.Send(1, i)
+	}
+	sched.RunUntil(time.Minute)
+	dropped := float64(net.Stats().DroppedLoss) / msgs
+	if dropped < 0.30 || dropped > 0.42 {
+		t.Fatalf("combined drop rate = %.3f, want ≈0.36", dropped)
+	}
+	if len(hs[1].received)+int(net.Stats().DroppedLoss) != msgs {
+		t.Fatalf("delivered %d + dropped %d ≠ sent %d",
+			len(hs[1].received), net.Stats().DroppedLoss, msgs)
+	}
+}
+
+func TestJitterBoundedAndAdditive(t *testing.T) {
+	sched, net, hs := newTestNet(t, 2, FixedLatency(10*time.Millisecond))
+	net.StartAll()
+	net.SetJitter(0, 5*time.Millisecond)
+	net.SetJitter(1, 15*time.Millisecond)
+	// Endpoint bounds add: delivery lands in [base, base+20ms].
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		at := time.Duration(i) * time.Second
+		sched.At(at, func() { hs[0].ctx.Send(1, i) })
+	}
+	prev := 0
+	for i := 0; i < msgs; i++ {
+		at := time.Duration(i) * time.Second
+		sched.RunUntil(at + 10*time.Millisecond - 1)
+		if len(hs[1].received) != prev {
+			t.Fatalf("msg %d arrived before the base latency", i)
+		}
+		sched.RunUntil(at + 30*time.Millisecond)
+		if len(hs[1].received) != prev+1 {
+			t.Fatalf("msg %d not delivered within base+jitter bound", i)
+		}
+		prev++
+	}
+	if net.Jitter(0) != 5*time.Millisecond || net.Jitter(1) != 15*time.Millisecond {
+		t.Fatalf("jitter accessors = %v/%v", net.Jitter(0), net.Jitter(1))
+	}
+}
+
+// TestDegradedReplayDeterministic runs the same lossy, jittery workload twice
+// from the same seed and requires identical delivery traces — the property
+// the scenario golden pins depend on.
+func TestDegradedReplayDeterministic(t *testing.T) {
+	run := func() ([]any, uint64, time.Duration) {
+		sched := sim.New(99)
+		net := New(sched, Config{Latency: UniformLatency{Min: time.Millisecond, Max: 5 * time.Millisecond}})
+		hs := make([]*echoHandler, 3)
+		for i := range hs {
+			hs[i] = &echoHandler{}
+			net.AddNode(NodeID(i), hs[i])
+		}
+		net.StartAll()
+		net.SetLoss(1, 0.3)
+		net.SetJitter(2, 4*time.Millisecond)
+		for i := 0; i < 500; i++ {
+			hs[0].ctx.Send(1, i)
+			hs[0].ctx.Send(2, 1000+i)
+			hs[1].ctx.Send(2, 2000+i)
+		}
+		sched.RunUntil(time.Second)
+		var all []any
+		all = append(all, hs[1].received...)
+		all = append(all, hs[2].received...)
+		return all, net.Stats().DroppedLoss, sched.Now()
+	}
+	a, aDrops, aNow := run()
+	b, bDrops, bNow := run()
+	if aDrops != bDrops || aNow != bNow || len(a) != len(b) {
+		t.Fatalf("replay diverged: drops %d/%d, now %v/%v, delivered %d/%d",
+			aDrops, bDrops, aNow, bNow, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestZeroDegradationIsInert proves the zero-overhead contract behaviourally:
+// a run that installs and clears zero-valued rules must replay, event for
+// event, a run on a network that never heard of loss or jitter. The dedicated
+// RNG streams mean neither variant consumes from the latency stream.
+func TestZeroDegradationIsInert(t *testing.T) {
+	run := func(touch bool) ([]any, uint64, time.Duration) {
+		sched := sim.New(1234)
+		net := New(sched, Config{Latency: UniformLatency{Min: time.Millisecond, Max: 20 * time.Millisecond}})
+		hs := make([]*echoHandler, 2)
+		for i := range hs {
+			hs[i] = &echoHandler{}
+			net.AddNode(NodeID(i), hs[i])
+		}
+		net.StartAll()
+		if touch {
+			net.SetLoss(0, 0)
+			net.SetJitter(1, 0)
+			net.SetLoss(1, 0.5) // install...
+			net.SetLoss(1, 0)   // ...and clear before any traffic
+		}
+		for i := 0; i < 300; i++ {
+			hs[0].ctx.Send(1, i)
+		}
+		sched.RunUntil(time.Second)
+		return hs[1].received, net.Stats().Delivered, sched.Now()
+	}
+	aRecv, aDel, aNow := run(false)
+	bRecv, bDel, bNow := run(true)
+	if aDel != bDel || aNow != bNow || len(aRecv) != len(bRecv) {
+		t.Fatalf("zero-valued rules changed the run: delivered %d vs %d, clock %v vs %v",
+			aDel, bDel, aNow, bNow)
+	}
+	for i := range aRecv {
+		if aRecv[i] != bRecv[i] {
+			t.Fatalf("delivery order diverged at %d: %v vs %v", i, aRecv[i], bRecv[i])
+		}
+	}
+}

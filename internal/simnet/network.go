@@ -82,6 +82,7 @@ type Stats struct {
 	DroppedNodeDown   uint64
 	DroppedInFlight   uint64
 	DroppedSenderDown uint64
+	DroppedLoss       uint64
 }
 
 // Config parameterizes a Network.
@@ -115,6 +116,21 @@ type Network struct {
 	// costs one comparison.
 	extraDelay   []time.Duration
 	extraDelayed int
+	// lossRate / jitterBound model netem-style per-interface degradation:
+	// a message crossing a lossy interface is dropped with the interface's
+	// probability (both endpoints combine independently), and a jittery
+	// interface adds a uniform extra delay in [0, bound]. Dense by NodeID
+	// with non-zero counters, mirroring extraDelay: when no interface is
+	// degraded the send fast path pays exactly one integer comparison per
+	// feature and draws nothing from the degradation RNG streams, so
+	// loss=0/jitter=0 runs are bit-for-bit identical to a kernel without
+	// the feature.
+	lossRate     []float64
+	lossyIfaces  int
+	jitterBound  []time.Duration
+	jitterIfaces int
+	lossRNG      *rand.Rand
+	jitterRNG    *rand.Rand
 	// freeDeliveries pools delivery events so a message in steady state
 	// schedules no new closure.
 	freeDeliveries *delivery
@@ -142,9 +158,14 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 		lat = UniformLatency{Min: 5 * time.Millisecond, Max: 25 * time.Millisecond}
 	}
 	return &Network{
-		sched:        sched,
-		latency:      lat,
-		rng:          sched.RNG("simnet.latency"),
+		sched:   sched,
+		latency: lat,
+		rng:     sched.RNG("simnet.latency"),
+		// Dedicated degradation streams: enabling loss or jitter must not
+		// shift the latency stream (and vice versa), so that a run with
+		// the primitives unused replays the undegraded run bit-for-bit.
+		lossRNG:      sched.RNG("simnet.loss"),
+		jitterRNG:    sched.RNG("simnet.jitter"),
 		rules:        make(map[int]partitionRule),
 		blockedPairs: make(map[pairKey]int),
 	}
@@ -170,6 +191,12 @@ func (n *Network) AddNode(id NodeID, h Handler) {
 		delays := make([]time.Duration, id+1)
 		copy(delays, n.extraDelay)
 		n.extraDelay = delays
+		losses := make([]float64, id+1)
+		copy(losses, n.lossRate)
+		n.lossRate = losses
+		jitters := make([]time.Duration, id+1)
+		copy(jitters, n.jitterBound)
+		n.jitterBound = jitters
 	}
 	if n.nodes[id] != nil {
 		panic(fmt.Sprintf("simnet: duplicate node %v", id))
@@ -301,6 +328,81 @@ func (n *Network) ExtraDelay(id NodeID) time.Duration {
 	return n.extraDelay[id]
 }
 
+// SetLoss injects (or clears, with 0) probabilistic packet loss on a node's
+// interface, modelling a tc-netem loss rule: every message entering or
+// leaving the node is dropped independently with probability p. Values are
+// clamped into [0, 1]. Losses are drawn from a dedicated RNG stream, so a
+// network with every rate at zero replays identically to one that never
+// touched the primitive.
+func (n *Network) SetLoss(id NodeID, p float64) {
+	n.mustNode(id)
+	switch {
+	case p < 0:
+		p = 0
+	case p > 1:
+		p = 1
+	}
+	n.trace(TraceEvent{Kind: TraceLoss, Node: id, Peer: id, Detail: fmt.Sprintf("p=%g", p)})
+	old := n.lossRate[id]
+	switch {
+	case old == 0 && p > 0:
+		n.lossyIfaces++
+	case old > 0 && p == 0:
+		n.lossyIfaces--
+	}
+	n.lossRate[id] = p
+}
+
+// Loss returns the injected loss probability on a node's interface.
+func (n *Network) Loss(id NodeID) float64 {
+	if int(id) >= len(n.lossRate) {
+		return 0
+	}
+	return n.lossRate[id]
+}
+
+// SetJitter injects (or clears, with 0) bounded latency jitter on a node's
+// interface: every message entering or leaving the node is delayed by an
+// extra uniform draw from [0, bound], modelling a tc-netem delay-variation
+// rule. Jitter draws come from a dedicated RNG stream, so bound-zero
+// networks replay identically to pre-jitter kernels.
+func (n *Network) SetJitter(id NodeID, bound time.Duration) {
+	n.mustNode(id)
+	if bound < 0 {
+		bound = 0
+	}
+	n.trace(TraceEvent{Kind: TraceJitter, Node: id, Peer: id, Detail: bound.String()})
+	old := n.jitterBound[id]
+	switch {
+	case old == 0 && bound > 0:
+		n.jitterIfaces++
+	case old > 0 && bound == 0:
+		n.jitterIfaces--
+	}
+	n.jitterBound[id] = bound
+}
+
+// Jitter returns the injected jitter bound on a node's interface.
+func (n *Network) Jitter(id NodeID) time.Duration {
+	if int(id) >= len(n.jitterBound) {
+		return 0
+	}
+	return n.jitterBound[id]
+}
+
+// lost decides whether a message on the (from, to) link is dropped by
+// injected loss. Callers must gate on n.lossyIfaces so the undegraded path
+// never reaches the RNG. The two interface rates combine independently,
+// like two netem qdiscs in series.
+func (n *Network) lost(from, to NodeID) bool {
+	pf, pt := n.lossRate[from], n.lossRate[to]
+	if pf == 0 && pt == 0 {
+		return false
+	}
+	p := pf + pt - pf*pt
+	return n.lossRNG.Float64() < p
+}
+
 // Blocked reports whether a (from, to) pair is currently separated by a
 // partition rule. The check is O(1): Partition/Heal maintain the pair
 // counts.
@@ -387,6 +489,10 @@ func (n *Network) send(from, to NodeID, payload any) {
 		n.stats.DroppedNodeDown++
 		return
 	}
+	if n.lossyIfaces > 0 && n.lost(from, to) {
+		n.stats.DroppedLoss++
+		return
+	}
 	d := n.newDelivery()
 	d.dst = dst
 	d.from = from
@@ -397,11 +503,16 @@ func (n *Network) send(from, to NodeID, payload any) {
 }
 
 // delay samples the one-way latency for a message, including any injected
-// interface delays.
+// interface delays and jitter.
 func (n *Network) delay(from, to NodeID) time.Duration {
 	d := n.latency.Sample(from, to, n.rng)
 	if n.extraDelayed > 0 {
 		d += n.extraDelay[from] + n.extraDelay[to]
+	}
+	if n.jitterIfaces > 0 {
+		if bound := n.jitterBound[from] + n.jitterBound[to]; bound > 0 {
+			d += time.Duration(n.jitterRNG.Int63n(int64(bound) + 1))
+		}
 	}
 	return d
 }

@@ -25,6 +25,10 @@ const (
 	TraceConnDown
 	// TraceConnUp is a connection (re-)establishment.
 	TraceConnUp
+	// TraceLoss is a netem loss-rate change.
+	TraceLoss
+	// TraceJitter is a netem jitter-bound change.
+	TraceJitter
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +48,10 @@ func (k TraceKind) String() string {
 		return "conn-down"
 	case TraceConnUp:
 		return "conn-up"
+	case TraceLoss:
+		return "loss"
+	case TraceJitter:
+		return "jitter"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

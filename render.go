@@ -43,9 +43,13 @@ func scoreBar(cmp *Comparison) string {
 // one panel of Figs 4-6.
 func RenderThroughput(cmp *Comparison, bucket time.Duration) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s (%s: inject %s, recover %s)\n",
-		cmp.System, cmp.Fault.Kind,
-		fmtSecs(cmp.Fault.InjectAt), fmtSecs(cmp.Fault.RecoverAt))
+	if cmp.Scenario != "" {
+		fmt.Fprintf(&b, "%s (scenario: %s)\n", cmp.System, cmp.Scenario)
+	} else {
+		fmt.Fprintf(&b, "%s (%s: inject %s, recover %s)\n",
+			cmp.System, cmp.Fault.Kind,
+			fmtSecs(cmp.Fault.InjectAt), fmtSecs(cmp.Fault.RecoverAt))
+	}
 	fmt.Fprintf(&b, "  %8s %10s %10s\n", "t", "baseline", "altered")
 	total := time.Duration(len(cmp.Baseline.Throughput.Counts)) * cmp.Baseline.Throughput.Bucket
 	for t := time.Duration(0); t < total; t += bucket {

@@ -1,0 +1,77 @@
+package stabl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShippedSpecsValidate walks every JSON file under specs/ through the
+// same ValidateSpec path the `stabl spec -validate` command uses, so a spec
+// that drifts from the schema (renamed field, out-of-range scenario node,
+// unknown fault) breaks the build rather than a future experiment.
+func TestShippedSpecsValidate(t *testing.T) {
+	var files []string
+	err := filepath.WalkDir("specs", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 7 {
+		t.Fatalf("found only %d spec files under specs/ — shipped examples missing", len(files))
+	}
+	var scenarios, campaigns int
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind, err := ValidateSpec(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		switch kind {
+		case "campaign":
+			campaigns++
+		case "experiment":
+			if strings.HasPrefix(path, filepath.Join("specs", "scenarios")) {
+				scenarios++
+			}
+		default:
+			t.Errorf("%s: unexpected spec kind %q", path, kind)
+		}
+	}
+	if scenarios < 3 {
+		t.Errorf("only %d scenario specs under specs/scenarios/, want the 3 shipped examples", scenarios)
+	}
+	if campaigns < 2 {
+		t.Errorf("only %d campaign specs, want the crash and scenario sweeps", campaigns)
+	}
+}
+
+// TestValidateSpecRejectsBrokenInput pins the failure modes ValidateSpec must
+// catch: malformed JSON, unknown fields and semantically invalid configs.
+func TestValidateSpecRejectsBrokenInput(t *testing.T) {
+	cases := map[string]string{
+		"malformed":          `{"system": "Redbelly"`,
+		"unknown field":      `{"system": "Redbelly", "warp": 9}`,
+		"unknown system":     `{"system": "Atlantis"}`,
+		"bad scenario":       `{"system": "Redbelly", "scenario": {"name": "x", "actions": [{"op": "melt", "atSec": 1, "nodes": "all"}]}}`,
+		"campaign bad fault": `{"systems": ["Redbelly"], "faults": ["meteor"]}`,
+	}
+	for name, body := range cases {
+		if _, err := ValidateSpec(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}

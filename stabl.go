@@ -25,7 +25,9 @@
 package stabl
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -38,6 +40,7 @@ import (
 	"stabl/internal/core"
 	"stabl/internal/metrics"
 	"stabl/internal/redbelly"
+	"stabl/internal/scenario"
 	"stabl/internal/solana"
 	"stabl/internal/stats"
 	"stabl/internal/workload"
@@ -170,8 +173,37 @@ func TimelineSVG(rec *MetricsRecorder, title string) string {
 }
 
 // ParseFaultKind is the inverse of FaultKind.String, the canonical fault
-// name mapping shared by the CLI and all spec formats.
+// name mapping shared by the CLI and all spec formats. Composite faults
+// (crash waves, flapping links, loss/jitter) are expressed as scenarios
+// instead — see ParseScenario and BuiltinScenario.
 func ParseFaultKind(name string) (FaultKind, error) { return core.ParseFaultKind(name) }
+
+// Scenario types: composable multi-phase fault timelines. See the
+// internal/scenario package for the action grammar and compilation rules.
+type (
+	// Scenario is a validated multi-phase fault timeline; set it on
+	// Config.Scenario (mutually exclusive with a non-none Fault.Kind).
+	Scenario = scenario.Scenario
+	// ScenarioSpec is the JSON form of a scenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioAction is the JSON form of one scenario timeline action.
+	ScenarioAction = scenario.ActionSpec
+)
+
+// ParseScenario reads and validates a JSON scenario spec (the scenario
+// action grammar: crash, restart, partition, heal, slow, loss, jitter, flap
+// over node-set selectors).
+func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
+
+// BuiltinScenarios lists the canned scenario names (cascade, flap,
+// lossy-wan, rolling-restart, ...).
+func BuiltinScenarios() []string { return scenario.Builtins() }
+
+// BuiltinScenario returns a canned scenario spec laid out over a run of the
+// given duration (the default 400 s when zero).
+func BuiltinScenario(name string, duration time.Duration) (ScenarioSpec, error) {
+	return scenario.Builtin(name, duration)
+}
 
 // NewReport digests a comparison for machine consumption.
 func NewReport(cmp *Comparison) Report { return core.NewReport(cmp) }
@@ -187,6 +219,37 @@ func LoadExperiment(r io.Reader) (Config, error) {
 		return Config{}, err
 	}
 	return spec.Config(SystemByName)
+}
+
+// ValidateSpec lints one spec document without running anything. It accepts
+// both formats the CLI consumes — experiment specs (a single "system") and
+// campaign specs (a "systems" list, detected by that key) — and returns
+// which kind it saw. Unknown fields, unknown system/fault names, malformed
+// scenarios and undeployable configurations all fail.
+func ValidateSpec(r io.Reader) (kind string, err error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return "", err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return "", fmt.Errorf("stabl: spec is not a JSON object: %w", err)
+	}
+	if _, ok := probe["systems"]; ok {
+		spec, err := campaign.ParseSpec(bytes.NewReader(raw))
+		if err != nil {
+			return "campaign", err
+		}
+		// Expanding against the registry checks system names, fault
+		// kinds and scenario timelines without running any cell.
+		_, err = campaign.Validate(spec, SystemByName)
+		return "campaign", err
+	}
+	cfg, err := LoadExperiment(bytes.NewReader(raw))
+	if err != nil {
+		return "experiment", err
+	}
+	return "experiment", cfg.Validate()
 }
 
 // Compare runs the baseline and altered environments and computes the
