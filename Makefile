@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify specs bench bench-smoke figures clean
+.PHONY: all build vet test race verify verify-race specs lint bench bench-smoke figures clean
 
 all: verify
 
@@ -26,13 +26,33 @@ race:
 specs:
 	$(GO) run ./cmd/stabl spec -validate 'specs/*.json' 'specs/scenarios/*.json'
 
-# verify is the one gate to run before committing: compile everything,
-# static checks, spec linting, then the full suite under the race detector
-# (the parallel suite/campaign sweeps are the only concurrent code paths).
+# lint runs the determinism static-analysis pass (internal/lint) over the
+# whole module: map ranges that draw RNG/send/schedule, wall-clock reads in
+# simulated packages, global math/rand use, unsorted key broadcasts. Any
+# unsuppressed diagnostic fails the build; //stabl:nodet suppresses one
+# finding with a justification (see DESIGN.md "Determinism invariants").
+lint:
+	$(GO) run ./cmd/stabl lint ./...
+
+# verify is the everyday gate: compile everything, static checks, spec and
+# determinism linting, then the full suite. Run verify-race instead when
+# touching the parallel suite/campaign paths or internal/pool — the race
+# detector is required there and slow everywhere else.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(MAKE) specs
+	$(MAKE) lint
+	$(GO) test ./...
+
+# verify-race is verify with the suite under the race detector. Required
+# before committing changes to the concurrent code paths (RunSuite,
+# internal/campaign workers, internal/pool); optional but slower elsewhere.
+verify-race:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(MAKE) specs
+	$(MAKE) lint
 	$(GO) test -race -timeout 45m ./...
 
 # bench regenerates the committed kernel benchmark report (figures at the

@@ -23,6 +23,7 @@
 //	spec            validate spec files: stabl spec -validate <glob>...
 //	campaign        chaos campaign over a fault-space grid (-config spec)
 //	bench           kernel benchmark suite, written to BENCH_kernel.json
+//	lint            determinism static analysis: stabl lint [packages]
 //
 // Flags select the system, fault, seed and deployment size, and may come
 // before or after the command (`stabl campaign -config spec.json`); see
@@ -49,6 +50,7 @@ import (
 
 	"stabl"
 	"stabl/internal/kernelbench"
+	"stabl/internal/lint"
 )
 
 func main() {
@@ -69,7 +71,8 @@ func run(args []string, out io.Writer) error {
 		system     = fs.String("system", "Redbelly", "system for the run command")
 		fault      = fs.String("fault", "none", "fault for the run command: none|crash|transient|partition|secure-client|slow")
 		scenName   = fs.String("scenario", "", "canned scenario name for the scenario command (see `stabl scenario -list`)")
-		scenList   = fs.Bool("list", false, "scenario command: list the canned scenarios and exit")
+		scenList   = fs.Bool("list", false, "scenario and lint commands: list the canned scenarios / analyzers and exit")
+		analyzers  = fs.String("analyzers", "", "lint command: comma-separated analyzer names (default: all)")
 		validate   = fs.Bool("validate", false, "spec command: validate the spec files matching the given globs")
 		inject     = fs.Duration("inject", 133*time.Second, "fault injection time")
 		recover    = fs.Duration("recover", 266*time.Second, "fault recovery time")
@@ -101,9 +104,10 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(fs.Args()[1:]); err != nil {
 		return err
 	}
-	// Only the spec command takes positional operands (glob patterns).
+	// Only the spec and lint commands take positional operands (glob or
+	// package patterns).
 	operands := fs.Args()
-	if command != "spec" && len(operands) != 0 {
+	if command != "spec" && command != "lint" && len(operands) != 0 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one command, got %q and %q", command, fs.Arg(0))
 	}
@@ -422,6 +426,32 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, cmp)
 		fmt.Fprint(out, stabl.RenderThroughput(cmp, *bucket))
 		return writeSVG(*svgDir, base+".svg", stabl.ThroughputSVG(cmp, 5*time.Second))
+	case "lint":
+		if *scenList {
+			for _, a := range lint.All() {
+				fmt.Fprintf(out, "%-20s %s\n", a.Name, a.Doc)
+			}
+			return nil
+		}
+		selected, err := lint.Select(*analyzers)
+		if err != nil {
+			return err
+		}
+		pkgs, err := lint.Load(operands)
+		if err != nil {
+			return err
+		}
+		diags := lint.Run(pkgs, selected)
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		// Same non-zero-exit convention as `stabl spec -validate`: clean
+		// trees exit 0, anything unsuppressed fails the command (and with
+		// it, make verify).
+		if len(diags) > 0 {
+			return fmt.Errorf("lint: %d issue(s) in %d package(s)", len(diags), len(pkgs))
+		}
+		return nil
 	case "spec":
 		if !*validate {
 			return fmt.Errorf("spec needs -validate, e.g. `stabl spec -validate 'specs/*.json'`")

@@ -230,3 +230,40 @@ func TestCLICampaignRequiresConfig(t *testing.T) {
 		t.Fatal("campaign without -config accepted")
 	}
 }
+
+func TestCLILintList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"lint", "-list"}, &buf); err != nil {
+		t.Fatalf("lint -list: %v", err)
+	}
+	for _, name := range []string{"globalrand", "maprange-rng", "unsorted-broadcast", "wallclock"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("lint -list output %q is missing analyzer %s", buf.String(), name)
+		}
+	}
+}
+
+// TestCLILintUnknownAnalyzer mirrors TestCLIUnknownFault: a typo fails with
+// an error that enumerates the valid names.
+func TestCLILintUnknownAnalyzer(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"lint", "-analyzers", "bogus"}, &buf)
+	if err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+	for _, want := range []string{`unknown analyzer "bogus"`, "globalrand", "maprange-rng", "unsorted-broadcast", "wallclock"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestCLILintCleanPackage(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"lint", "stabl/internal/stats"}, &buf); err != nil {
+		t.Fatalf("lint on a clean package failed: %v\n%s", err, buf.String())
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		t.Fatalf("lint on a clean package printed diagnostics:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,60 @@
+// Command stabllint is the standalone, vettool-style entry point for the
+// determinism lint pass in internal/lint. It exists so the analyzers can
+// run without the rest of the stabl CLI (editors, CI steps, other repos'
+// scripts); `stabl lint` is the same engine behind the main binary.
+//
+// Usage:
+//
+//	stabllint [-analyzers a,b] [packages]
+//
+// Packages default to ./... and accept any `go list` pattern. The exit
+// status follows the `stabl spec -validate` convention: 0 when clean,
+// non-zero with a summary on stderr when any unsuppressed diagnostic (or a
+// load error) remains. Diagnostics print one per line as
+// path:line:col: [analyzer] message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stabl/internal/lint"
+)
+
+func main() {
+	fs := flag.NewFlagSet("stabllint", flag.ExitOnError)
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer names (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(*analyzers, fs.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "stabllint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(analyzers string, patterns []string) error {
+	selected, err := lint.Select(analyzers)
+	if err != nil {
+		return err
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		return err
+	}
+	diags := lint.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%d issue(s) in %d package(s)", len(diags), len(pkgs))
+	}
+	return nil
+}

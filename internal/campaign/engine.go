@@ -115,7 +115,8 @@ func Validate(spec Spec, resolve func(string) (chain.System, error)) (int, error
 		_, err = built.Compile(scenario.Env{
 			Validators: validators,
 			Clients:    clients,
-			RNG:        func(string) *rand.Rand { return rand.New(rand.NewSource(1)) },
+			//stabl:nodet globalrand -- validation-only compile: drawn values are discarded, no run consumes this stream
+			RNG: func(string) *rand.Rand { return rand.New(rand.NewSource(1)) },
 		})
 		if err != nil {
 			return 0, err

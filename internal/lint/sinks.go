@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// This file classifies "order-sensitive sinks": functions whose invocation
+// order is observable in a run's event stream, so calling them from an
+// iteration whose order Go randomizes (a map range) desyncs otherwise
+// identical executions. Three families matter:
+//
+//   - RNG draws: every (*rand.Rand) method advances a stream shared with
+//     later draws, so draw order is value order.
+//   - simnet sends: each send samples the latency (and loss/jitter) RNG
+//     streams and allocates an event sequence number.
+//   - event scheduling: sequence numbers are handed out in call order and
+//     break ties between events at the same virtual instant.
+//
+// Deriving a stream (Scheduler.RNG / Context.RNG) is deliberately NOT a
+// sink: the derivation depends only on the (seed, name) pair, so derivation
+// order is unobservable — it is drawing from the returned stream that
+// counts, and those draws are caught as (*rand.Rand) method sinks.
+
+// sinkFunc reports whether fn is an order-sensitive sink and, if so,
+// describes what calling it does.
+func sinkFunc(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	path, name := pkg.Path(), fn.Name()
+	recv := receiverTypeName(fn)
+
+	switch path {
+	case "math/rand", "math/rand/v2":
+		if recv == "Rand" {
+			return "draws from an RNG stream via (*rand.Rand)." + name, true
+		}
+		if recv == "" && globalRandFns[name] {
+			return "draws from the global math/rand source via rand." + name, true
+		}
+	case "stabl/internal/sim":
+		switch {
+		case recv == "Scheduler" && (name == "At" || name == "After"):
+			return "schedules a simulation event via (*sim.Scheduler)." + name, true
+		case recv == "" && name == "NewTicker":
+			return "schedules simulation events via sim.NewTicker", true
+		}
+	case "stabl/internal/simnet":
+		switch recv {
+		case "Context":
+			switch name {
+			case "Send", "Broadcast":
+				return "sends on the simnet via (*simnet.Context)." + name, true
+			case "After", "Every":
+				return "schedules node events via (*simnet.Context)." + name, true
+			}
+		case "Network":
+			switch name {
+			case "send":
+				return "sends on the simnet via (*simnet.Network).send", true
+			case "StartNode", "StartAll", "Restart":
+				return "schedules node startup via (*simnet.Network)." + name, true
+			case "Halt", "Partition", "Heal", "SetExtraDelay", "SetLoss", "SetJitter":
+				return "perturbs simnet delivery state via (*simnet.Network)." + name, true
+			}
+		}
+	case "stabl/internal/chain":
+		if recv == "BaseNode" {
+			switch name {
+			case "HandleClient", "HandleSync", "SubmitBlock", "StartCatchUp":
+				return "sends on the simnet via (*chain.BaseNode)." + name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// globalRandFns is every math/rand (and v2) top-level function that draws
+// from the process-global source. rand.New, NewSource, NewZipf take an
+// explicit source and are fine.
+var globalRandFns = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// receiverTypeName returns the named type of fn's receiver ("" for
+// package-level functions), with any pointer indirection stripped.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

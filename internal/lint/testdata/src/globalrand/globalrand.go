@@ -1,0 +1,26 @@
+// Package globalrand seeds the globalrand analyzer: global math/rand
+// draws and constant seeds outside the per-stream derivation, next to the
+// threaded-seed idiom that must stay silent.
+package globalrand
+
+import "math/rand"
+
+// shuffleBuggy draws from the process-global source: seeded from entropy,
+// shared across every caller, invisible to the experiment seed.
+func shuffleBuggy(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "rand.Shuffle draws from the process-global math/rand source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	_ = rand.Intn(10) // want "rand.Intn draws from the process-global math/rand source"
+}
+
+// pinnedBuggy pins a constant seed, coupling every caller into one stream.
+func pinnedBuggy() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "rand.NewSource(42) pins a constant seed"
+}
+
+// threadedClean receives a derived seed (sim.Scheduler.RNGSeed upstream)
+// and builds a private stream from it — the idiom the analyzer protects.
+func threadedClean(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

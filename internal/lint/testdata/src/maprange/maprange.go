@@ -1,0 +1,86 @@
+// Package maprange seeds the maprange-rng analyzer with reconstructions of
+// the shipped bug shapes (redbelly resendRound, avalanche closeRound: a map
+// range whose body sends or draws) and with the fixed sorted-keys idiom,
+// which must stay silent.
+package maprange
+
+import (
+	"math/rand"
+	"sort"
+
+	"stabl/internal/simnet"
+)
+
+type msg struct {
+	Sub int
+	Est []byte
+}
+
+type node struct {
+	ctx   *simnet.Context
+	peers []simnet.NodeID
+	votes map[int][]byte
+	rng   *rand.Rand
+}
+
+// resendBuggy is the PR 4 redbelly resendRound bug shape: each Broadcast
+// samples the shared latency RNG streams, so map order leaks into the run.
+func (n *node) resendBuggy() {
+	for sub, est := range n.votes { // want "sends on the simnet via (*simnet.Context).Broadcast"
+		n.ctx.Broadcast(n.peers, msg{Sub: sub, Est: est})
+	}
+}
+
+// resendFixed is the shipped fix: collect, sort, then range the slice.
+func (n *node) resendFixed() {
+	subs := make([]int, 0, len(n.votes))
+	for sub := range n.votes {
+		subs = append(subs, sub)
+	}
+	sort.Ints(subs)
+	for _, sub := range subs {
+		n.ctx.Broadcast(n.peers, msg{Sub: sub, Est: n.votes[sub]})
+	}
+}
+
+// drawDirect draws from an RNG stream inside the loop body.
+func (n *node) drawDirect(weights map[int]float64) float64 {
+	total := 0.0
+	for k := range weights { // want "draws from an RNG stream via (*rand.Rand).Float64"
+		total += n.rng.Float64() * weights[k]
+	}
+	return total
+}
+
+// jitterOne is a package-local helper that draws; callers through it are
+// just as order-sensitive as direct draws.
+func (n *node) jitterOne(id simnet.NodeID) {
+	d := n.rng.Intn(10)
+	n.ctx.Send(id, d)
+}
+
+// drawTransitive reaches the RNG through jitterOne, one call deep.
+func (n *node) drawTransitive(pending map[simnet.NodeID]bool) {
+	for id := range pending { // want "calls jitterOne, which draws from an RNG stream"
+		n.jitterOne(id)
+	}
+}
+
+// scheduleBuggy schedules events in map order: sequence numbers break
+// same-instant ties, so this desyncs runs even though nothing draws.
+func (n *node) scheduleBuggy(deadlines map[int]bool) {
+	for round := range deadlines { // want "schedules node events via (*simnet.Context).After"
+		r := round
+		n.ctx.After(1, func() { n.ctx.Broadcast(n.peers, msg{Sub: r}) })
+	}
+}
+
+// tallyClean is an order-insensitive map range: pure accumulation draws
+// nothing and sends nothing, and must stay unflagged.
+func (n *node) tallyClean(counts map[string]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package suppress exercises the //stabl:nodet escape hatch: same-line and
+// line-above directives silence a finding, and a directive scoped to a
+// different analyzer does not.
+package suppress
+
+import "math/rand"
+
+// sameLine is silenced by a trailing directive.
+func sameLine() int {
+	return rand.Intn(10) //stabl:nodet globalrand -- fixture: demonstrates same-line suppression
+}
+
+// lineAbove is silenced by a directive on the preceding line.
+func lineAbove() int {
+	//stabl:nodet -- fixture: unscoped directive silences every analyzer on the next line
+	return rand.Intn(10)
+}
+
+// wrongScope carries a directive for a different analyzer, so the
+// globalrand finding survives.
+func wrongScope() int {
+	return rand.Intn(10) //stabl:nodet wallclock -- fixture: wrong scope, does not apply // want "rand.Intn draws from the process-global math/rand source"
+}

@@ -1,0 +1,58 @@
+// Package unsorted seeds the unsorted-broadcast analyzer: the two-step
+// variant of the map-order bug, where keys are collected into a slice (so
+// maprange-rng stays silent — the collection loop draws nothing) but the
+// slice is used before the sort that completes the idiom.
+package unsorted
+
+import (
+	"sort"
+
+	"stabl/internal/simnet"
+)
+
+type hub struct {
+	ctx   *simnet.Context
+	conns map[simnet.NodeID]int
+}
+
+// pingAllBuggy is the PR 1 keep-alive bug shape: the peer slice inherits
+// map order and every Send then samples latency streams in that order.
+func (h *hub) pingAllBuggy() {
+	peers := make([]simnet.NodeID, 0, len(h.conns))
+	for id := range h.conns {
+		peers = append(peers, id)
+	}
+	for _, id := range peers { // want "holds the keys of map h.conns and is iterated before any sort"
+		h.ctx.Send(id, "ping")
+	}
+}
+
+// broadcastBuggy hands the unsorted keys straight to a send.
+func (h *hub) broadcastBuggy() {
+	peers := make([]simnet.NodeID, 0, len(h.conns))
+	for id := range h.conns {
+		peers = append(peers, id)
+	}
+	h.ctx.Broadcast(peers, "hello") // want "passed to h.ctx.Broadcast before any sort"
+}
+
+// pingAllFixed completes the idiom: sort between collect and use.
+func (h *hub) pingAllFixed() {
+	peers := make([]simnet.NodeID, 0, len(h.conns))
+	for id := range h.conns {
+		peers = append(peers, id)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, id := range peers {
+		h.ctx.Send(id, "ping")
+	}
+}
+
+// countClean only measures the slice; no order-sensitive use.
+func (h *hub) countClean() int {
+	ids := make([]simnet.NodeID, 0, len(h.conns))
+	for id := range h.conns {
+		ids = append(ids, id)
+	}
+	return len(ids)
+}

@@ -1,0 +1,45 @@
+// Package wallclock seeds the wallclock analyzer: it imports the
+// simulation kernel, so every wall-clock read here is a determinism bug —
+// virtual time is the only clock a simulated package may consult.
+package wallclock
+
+import (
+	"time"
+
+	"stabl/internal/sim"
+)
+
+type worker struct {
+	sched *sim.Scheduler
+	start time.Duration
+}
+
+// deadlineBuggy stamps events with the wall clock instead of the virtual
+// clock.
+func (w *worker) deadlineBuggy() time.Time {
+	return time.Now() // want "time.Now reads the wall clock in a simulated package"
+}
+
+// waitBuggy blocks the simulation goroutine for real seconds.
+func (w *worker) waitBuggy() {
+	time.Sleep(time.Second) // want "time.Sleep reads the wall clock"
+}
+
+// tickBuggy builds a real timer that fires on the OS clock, invisible to
+// the scheduler.
+func (w *worker) tickBuggy() *time.Timer {
+	return time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+}
+
+// zeroTickerBuggy constructs a ticker directly, bypassing any clock at all.
+func (w *worker) zeroTickerBuggy() time.Ticker {
+	return time.Ticker{} // want "time.Ticker constructed directly"
+}
+
+// virtualClean is the idiom: durations are plain values, instants come from
+// the scheduler, and timers are scheduler events.
+func (w *worker) virtualClean() time.Duration {
+	const step = 250 * time.Millisecond
+	w.sched.After(step, func() {})
+	return w.sched.Now() - w.start
+}

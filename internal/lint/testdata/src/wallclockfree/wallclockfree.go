@@ -1,0 +1,15 @@
+// Package wallclockfree proves the wallclock analyzer's applicability
+// gate: this package never imports the simulation kernel, so its wall-clock
+// reads are legitimate (it could be a CLI progress meter or a benchmark
+// driver) and must produce no diagnostics.
+package wallclockfree
+
+import "time"
+
+// Elapsed times a real-world operation with the real clock — fine outside
+// the simulated world.
+func Elapsed(op func()) time.Duration {
+	begin := time.Now()
+	op()
+	return time.Since(begin)
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnsortedBroadcast flags the two-step variant of the map-order bug: map
+// keys are collected into a slice (the first half of the sorted-keys
+// idiom) but the slice is then iterated or passed onward without the sort
+// in between. The collection loop itself is order-insensitive — append
+// into a slice draws nothing — so maprange-rng stays silent, yet the
+// slice inherits Go's randomized map order and every downstream send or
+// draw replays it. Within one function body this is detected by statement
+// order: collect, then any use (range, for-loop, call argument) before a
+// sort of the same slice.
+var UnsortedBroadcast = &Analyzer{
+	Name: "unsorted-broadcast",
+	Doc:  "map keys collected into a slice that is iterated or sent without a sort",
+	Run:  runUnsortedBroadcast,
+}
+
+func runUnsortedBroadcast(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				p.checkStmtList(n.List)
+			case *ast.CaseClause:
+				p.checkStmtList(n.Body)
+			case *ast.CommClause:
+				p.checkStmtList(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// collected tracks one slice holding freshly collected map keys.
+type collected struct {
+	obj     types.Object
+	mapExpr string
+}
+
+func (p *Pass) checkStmtList(list []ast.Stmt) {
+	var active []*collected
+	for _, stmt := range list {
+		if c := p.keyCollection(stmt); c != nil {
+			active = append(active, c)
+			continue
+		}
+		kept := active[:0]
+		for _, c := range active {
+			switch {
+			case p.sortsVar(stmt, c.obj):
+				// sorted — the idiom is complete, stop tracking
+			case p.reassigns(stmt, c.obj):
+				// overwritten — whatever it holds now is not map order
+			default:
+				if pos, use := p.findUse(stmt, c.obj); use != "" {
+					p.Reportf(pos,
+						"%s holds the keys of map %s and is %s before any sort; that order is Go's randomized map order — sort the slice first",
+						c.obj.Name(), c.mapExpr, use)
+					break // one report per collection
+				}
+				kept = append(kept, c)
+			}
+		}
+		active = kept
+	}
+}
+
+// keyCollection matches `for k := range m { s = append(s, ...k...) }` where
+// m is a map, and returns the tracked slice variable.
+func (p *Pass) keyCollection(stmt ast.Stmt) *collected {
+	rng, ok := stmt.(*ast.RangeStmt)
+	if !ok {
+		return nil
+	}
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	keyIdent, ok := rng.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return nil
+	}
+	keyObj := p.Info.Defs[keyIdent]
+	if keyObj == nil {
+		keyObj = p.Info.Uses[keyIdent]
+	}
+	if keyObj == nil {
+		return nil
+	}
+	var out *collected
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+			return true
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return true
+		}
+		// The appended values must derive from the key for the slice to
+		// inherit map order.
+		usesKey := false
+		for _, arg := range call.Args[1:] {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.Info.Uses[id] == keyObj {
+					usesKey = true
+				}
+				return !usesKey
+			})
+		}
+		if !usesKey {
+			return true
+		}
+		obj := p.Info.Uses[lhs]
+		if obj == nil {
+			obj = p.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return true
+		}
+		out = &collected{obj: obj, mapExpr: types.ExprString(rng.X)}
+		return false
+	})
+	return out
+}
+
+// sortsVar reports whether stmt contains a sort of obj: a call into the
+// sort or slices packages with obj as an argument, or any call whose name
+// contains "sort" (covering local sortX helpers).
+func (p *Pass) sortsVar(stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !p.argsContain(call, obj) {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if x, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := p.Info.Uses[x].(*types.PkgName); ok {
+					path := pn.Imported().Path()
+					if path == "sort" || path == "slices" {
+						found = true
+						return false
+					}
+				}
+			}
+			if strings.Contains(strings.ToLower(fun.Sel.Name), "sort") {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(fun.Name), "sort") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// reassigns reports whether stmt assigns obj a new value.
+func (p *Pass) reassigns(stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if p.Info.Uses[id] == obj || p.Info.Defs[id] == obj {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// findUse returns the first order-sensitive use of obj inside stmt: a
+// range over it, a classic for loop reading it, or passing it to a
+// non-builtin call.
+func (p *Pass) findUse(stmt ast.Stmt, obj types.Object) (pos token.Pos, use string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if use != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if id, ok := n.X.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				pos, use = n.For, "iterated"
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && identUsed(p.Info, n.Cond, obj) {
+				pos, use = n.For, "iterated"
+				return false
+			}
+		case *ast.CallExpr:
+			if !p.argsContain(n, obj) {
+				return true
+			}
+			if p.builtinOrConversion(n) {
+				return true
+			}
+			pos, use = n.Pos(), "passed to "+types.ExprString(n.Fun)
+			return false
+		}
+		return true
+	})
+	return pos, use
+}
+
+// argsContain reports whether obj appears as (or inside) an argument of
+// call.
+func (p *Pass) argsContain(call *ast.CallExpr, obj types.Object) bool {
+	for _, arg := range call.Args {
+		if identUsed(p.Info, arg, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func identUsed(info *types.Info, root ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// builtinOrConversion reports whether call is a builtin (append, len, ...)
+// or a type conversion — order-insensitive consumers of the slice.
+func (p *Pass) builtinOrConversion(call *ast.CallExpr) bool {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "append", "len", "cap", "copy", "delete", "make", "new":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock flags wall-clock time access inside simulated packages. The
+// simulation kernel owns time: a 400-second experiment runs in
+// milliseconds, and every instant a node observes must come from the
+// virtual clock (sim.Scheduler.Now, simnet.Context.Now) or the run is
+// neither reproducible nor meaningfully "400 seconds" long. A package is
+// simulated when it is — or directly imports — the kernel (internal/sim),
+// the network (internal/simnet) or the chain layer (internal/chain); that
+// closure covers the five protocols, core, scenario, client and workload
+// without maintaining a package list by hand. Test files are exempt:
+// harnesses may time themselves with the real clock.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock time (time.Now, Sleep, timers) inside simulated packages",
+	Run:  runWallclock,
+}
+
+// wallclockFns are the time package functions that read or wait on the
+// real clock. time.Duration arithmetic and constants are fine.
+var wallclockFns = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// simCorePkgs are the roots of the simulated world.
+var simCorePkgs = map[string]bool{
+	"stabl/internal/sim":    true,
+	"stabl/internal/simnet": true,
+	"stabl/internal/chain":  true,
+}
+
+func runWallclock(p *Pass) {
+	if !simulatedPackage(p.Pkg) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				fn, ok := p.Info.Uses[n].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if !wallclockFns[fn.Name()] || receiverTypeName(fn) != "" {
+					return true
+				}
+				if p.IsTestFile(n.Pos()) {
+					return true
+				}
+				p.Reportf(n.Pos(),
+					"time.%s reads the wall clock in a simulated package; use virtual time (sim.Scheduler.Now/After, simnet.Context.Now/After/Every)",
+					fn.Name())
+			case *ast.CompositeLit:
+				// A zero time.Timer/Ticker literal is a broken timer that
+				// bypasses the scheduler entirely.
+				tv, ok := p.Info.Types[n]
+				if !ok {
+					return true
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "time" {
+					return true
+				}
+				name := named.Obj().Name()
+				if (name == "Timer" || name == "Ticker") && !p.IsTestFile(n.Pos()) {
+					p.Reportf(n.Pos(),
+						"time.%s constructed directly in a simulated package; schedule through sim.Scheduler / simnet.Context instead",
+						name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// simulatedPackage reports whether pkg is part of the simulated world.
+func simulatedPackage(pkg *types.Package) bool {
+	if simCorePkgs[pkg.Path()] {
+		return true
+	}
+	for _, imp := range pkg.Imports() {
+		if simCorePkgs[imp.Path()] {
+			return true
+		}
+	}
+	return false
+}

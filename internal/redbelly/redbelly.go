@@ -386,8 +386,17 @@ func (v *validator) evaluate(round, sub int) {
 	for _, key := range votes {
 		counts[key]++
 	}
-	for key, c := range counts {
-		if c >= v.quorum {
+	// At most one estimate can reach quorum (quorum = n-t > n/2), so which
+	// key decides is order-independent today — but iterate sorted anyway so
+	// the decision path stays provably deterministic if that invariant ever
+	// weakens, and so the send behind decide never follows map order.
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if counts[key] >= v.quorum {
 			v.decide(round, st.ests[key])
 			return
 		}
