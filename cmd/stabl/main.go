@@ -21,8 +21,14 @@
 //	                a canned one (-scenario cascade, see -list) or a spec
 //	                file with a "scenario" block (-config)
 //	spec            validate spec files: stabl spec -validate <glob>...
-//	campaign        chaos campaign over a fault-space grid (-config spec)
-//	bench           kernel benchmark suite, written to BENCH_kernel.json
+//	campaign        chaos campaign over a fault-space grid (-config spec);
+//	                spec mode "adaptive" forks shared checkpoints at the
+//	                fault-injection instant instead of replaying each cell
+//	search          bisect one fault axis (-axis count|slowby|intensity,
+//	                -lo, -hi) to the pass/fail tolerance boundary of
+//	                -system; -shrink minimizes the failing scenario
+//	bench           kernel benchmark suite, written to BENCH_kernel.json,
+//	                plus the fork-vs-replay suite in BENCH_fork.json
 //	lint            determinism static analysis: stabl lint [packages]
 //
 // Flags select the system, fault, seed and deployment size, and may come
@@ -86,7 +92,15 @@ func run(args []string, out io.Writer) error {
 		metricsDir      = fs.String("metrics-dir", "", "write per-cell metrics dumps and timelines into this directory (campaign command)")
 		metricsInterval = fs.Duration("metrics-interval", 5*time.Second, "aggregation interval for -metrics-out and -metrics-dir")
 
+		axisName   = fs.String("axis", "count", "search command: swept axis: count|slowby|intensity")
+		axisLo     = fs.Float64("lo", 1, "search command: low end of the searched range (expected to pass)")
+		axisHi     = fs.Float64("hi", 5, "search command: high end of the searched range")
+		axisRes    = fs.Float64("resolution", 0, "search command: bracket resolution for non-integer axes (0 = range/64)")
+		threshold  = fs.Float64("threshold", 0, "search command: a finite score at or above this also fails (0 = only liveness loss)")
+		shrink     = fs.Bool("shrink", false, "search command: delta-debug the failing scenario at the boundary to a minimal spec (intensity axis)")
+
 		benchOut   = fs.String("bench-out", "BENCH_kernel.json", "report file for the bench command")
+		forkOut    = fs.String("fork-out", "BENCH_fork.json", "fork-vs-replay report file for the bench command")
 		benchFull  = fs.Bool("bench-full", false, "bench command: also replay the Fig 7 matrix (40 runs; slow)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile to this file when the command finishes")
@@ -270,11 +284,66 @@ func run(args []string, out io.Writer) error {
 		if metricsErr != nil {
 			return metricsErr
 		}
+		if cp := res.Checkpoint; cp != nil {
+			// Wall time is a property of this machine, not of the
+			// measurement, so it goes to stderr with the progress log.
+			fmt.Fprintf(os.Stderr, "checkpoint reuse: %d of %d cells served from %d family checkpoint(s), %d full replay(s); ~%s of replay wall time saved\n",
+				cp.ForkServed, res.TotalCells, cp.Families, cp.FullReplays,
+				cp.WallSaved.Round(time.Millisecond))
+		}
 		for _, sys := range res.Systems {
 			svg := stabl.CampaignHeatmapSVG(res, sys.System)
 			if err := writeSVG(*svgDir, "campaign-"+sys.System+".svg", svg); err != nil {
 				return err
 			}
+		}
+		if *jsonOut {
+			return res.WriteJSON(out)
+		}
+		return res.WriteText(out)
+	case "search":
+		sys, err := stabl.SystemByName(*system)
+		if err != nil {
+			return err
+		}
+		cfg.System = sys
+		opts := stabl.SearchOptions{
+			Axis: stabl.SearchAxis{
+				Name: *axisName, Lo: *axisLo, Hi: *axisHi, Resolution: *axisRes,
+			},
+			Threshold: *threshold,
+			Shrink:    *shrink,
+		}
+		if *axisName == stabl.SearchAxisIntensity {
+			if *scenName == "" {
+				return fmt.Errorf("search -axis intensity needs -scenario <name> (see `stabl scenario -list`)")
+			}
+			spec, err := stabl.BuiltinScenario(*scenName, *duration)
+			if err != nil {
+				return err
+			}
+			opts.Scenario = &spec
+			cfg.Fault.Kind = stabl.FaultNone
+		} else {
+			kind, err := stabl.ParseFaultKind(*fault)
+			if err != nil {
+				return err
+			}
+			cfg.Fault.Kind = kind
+		}
+		opts.Base = cfg
+		if !*jsonOut {
+			opts.Progress = func(x float64, fail bool, cmp *stabl.Comparison) {
+				verdict := "pass"
+				if fail {
+					verdict = "FAIL"
+				}
+				fmt.Fprintf(os.Stderr, "probe %s=%g: %s (%s)\n", *axisName, x, verdict, cmp.Score)
+			}
+		}
+		res, err := stabl.RunSearch(opts)
+		if err != nil {
+			return err
 		}
 		if *jsonOut {
 			return res.WriteJSON(out)
@@ -303,10 +372,37 @@ func run(args []string, out io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		if *jsonOut {
-			return rep.WriteJSON(out)
+		// The fork suite measures checkpoint reuse against from-scratch
+		// replays; it is small, so bench always includes it.
+		ff, err := os.Create(*forkOut)
+		if err != nil {
+			return err
 		}
-		return rep.WriteText(out)
+		forkRep, err := kernelbench.RunFork(kernelbench.Options{
+			Duration: *duration,
+			Progress: func(name string) { fmt.Fprintln(os.Stderr, "bench:", name) },
+		})
+		if err != nil {
+			ff.Close()
+			return err
+		}
+		if err := forkRep.WriteJSON(ff); err != nil {
+			ff.Close()
+			return err
+		}
+		if err := ff.Close(); err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := rep.WriteJSON(out); err != nil {
+				return err
+			}
+			return forkRep.WriteJSON(out)
+		}
+		if err := rep.WriteText(out); err != nil {
+			return err
+		}
+		return forkRep.WriteText(out)
 	case "run":
 		if *configPath != "" {
 			f, err := os.Open(*configPath)
@@ -363,7 +459,7 @@ func run(args []string, out io.Writer) error {
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(out, "%-16s %s\n", name, sc.Description)
+				fmt.Fprintf(out, "%-20s %s\n", name, sc.Description)
 			}
 			return nil
 		}

@@ -231,12 +231,80 @@ func TestCLICampaignRequiresConfig(t *testing.T) {
 	}
 }
 
+func TestCLIScenarioList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"scenario", "-list"}, &buf); err != nil {
+		t.Fatalf("scenario -list: %v", err)
+	}
+	out := buf.String()
+	for _, name := range []string{"cascade", "flap", "lossy-wan", "rolling-restart"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("scenario -list output %q is missing scenario %s", out, name)
+		}
+	}
+	// Same two-column layout as lint -list: names padded to 20 columns,
+	// descriptions aligned at column 22.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if len(line) < 22 {
+			t.Fatalf("scenario -list line %q has no description column", line)
+		}
+		if line[20] != ' ' || line[21] == ' ' {
+			t.Fatalf("scenario -list line %q is not aligned at column 22", line)
+		}
+	}
+}
+
+func TestCLISearchCount(t *testing.T) {
+	out := runCLI(t, "-system", "Redbelly", "-fault", "crash", "-lo", "1", "-hi", "2", "search")
+	if !strings.Contains(out, "search: Redbelly") || !strings.Contains(out, "probe count=") {
+		t.Fatalf("output = %q", out)
+	}
+	if !strings.Contains(out, "boundary:") {
+		t.Fatalf("output reports no boundary: %q", out)
+	}
+}
+
+func TestCLISearchJSON(t *testing.T) {
+	out := runCLI(t, "-system", "Redbelly", "-fault", "crash", "-lo", "1", "-hi", "2", "-json", "search")
+	var res struct {
+		System string `json:"system"`
+		Axis   string `json:"axis"`
+		Probes []struct {
+			X    float64 `json:"x"`
+			Fail bool    `json:"fail"`
+		} `json:"probes"`
+		Runs int `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if res.System != "Redbelly" || res.Axis != "count" || len(res.Probes) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Runs != len(res.Probes)+1 {
+		t.Fatalf("runs = %d, want probes+baseline = %d", res.Runs, len(res.Probes)+1)
+	}
+}
+
+func TestCLISearchValidation(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-axis", "voltage", "search"}, &buf); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	if err := run([]string{"-axis", "intensity", "search"}, &buf); err == nil {
+		t.Fatal("intensity without -scenario accepted")
+	}
+	if err := run([]string{"-axis", "count", "-fault", "secure-client", "search"}, &buf); err == nil {
+		t.Fatal("count axis over a nodeless fault accepted")
+	}
+}
+
 func TestCLILintList(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"lint", "-list"}, &buf); err != nil {
 		t.Fatalf("lint -list: %v", err)
 	}
-	for _, name := range []string{"globalrand", "maprange-rng", "unsorted-broadcast", "wallclock"} {
+	for _, name := range []string{"globalrand", "maprange-rng", "snapshot-maporder", "unsorted-broadcast", "wallclock"} {
 		if !strings.Contains(buf.String(), name) {
 			t.Fatalf("lint -list output %q is missing analyzer %s", buf.String(), name)
 		}
@@ -251,7 +319,7 @@ func TestCLILintUnknownAnalyzer(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown analyzer accepted")
 	}
-	for _, want := range []string{`unknown analyzer "bogus"`, "globalrand", "maprange-rng", "unsorted-broadcast", "wallclock"} {
+	for _, want := range []string{`unknown analyzer "bogus"`, "globalrand", "maprange-rng", "snapshot-maporder", "unsorted-broadcast", "wallclock"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not mention %q", err, want)
 		}

@@ -65,28 +65,48 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 
 	baselines := newBaselineCache()
 	results := make([]*CellResult, len(cells))
-	var mu sync.Mutex
-	done := 0
-	errs := pool.ForEach(ctx, len(cells), opts.Workers, func(i int) error {
-		res := runCell(spec, cells[i], opts, baselines)
-		results[i] = res
-		if opts.Progress != nil {
-			mu.Lock()
-			done++
-			opts.Progress(done, len(cells), res)
-			mu.Unlock()
-		}
-		return nil
-	})
-	// runCell captures its own panics, so pool errors are cancellation
-	// (skipped cells) or a panic in the bookkeeping above; either way the
-	// cell failed without a measurement.
-	for i, err := range errs {
-		if err != nil {
-			results[i] = &CellResult{Cell: cells[i], Error: err.Error()}
+	progress := &progressTracker{total: len(cells), fn: opts.Progress}
+
+	var checkpoint *CheckpointStats
+	if spec.Mode == ModeAdaptive {
+		checkpoint = runAdaptive(ctx, spec, cells, opts, baselines, results, progress)
+	} else {
+		errs := pool.ForEach(ctx, len(cells), opts.Workers, func(i int) error {
+			res := runCell(spec, cells[i], opts, baselines)
+			results[i] = res
+			progress.report(res)
+			return nil
+		})
+		// runCell captures its own panics, so pool errors are cancellation
+		// (skipped cells) or a panic in the bookkeeping above; either way
+		// the cell failed without a measurement.
+		for i, err := range errs {
+			if err != nil {
+				results[i] = &CellResult{Cell: cells[i], Error: err.Error()}
+			}
 		}
 	}
-	return aggregate(spec, results), nil
+	res := aggregate(spec, results)
+	res.Checkpoint = checkpoint
+	return res, nil
+}
+
+// progressTracker serializes per-cell progress callbacks across workers.
+type progressTracker struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(done, total int, res *CellResult)
+}
+
+func (p *progressTracker) report(res *CellResult) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(p.done, p.total, res)
+	p.mu.Unlock()
 }
 
 // Validate applies defaults, validates the spec and expands its grid
@@ -132,25 +152,16 @@ func Validate(spec Spec, resolve func(string) (chain.System, error)) (int, error
 	return len(cells), nil
 }
 
-// runCell executes one cell: materialize its config, fetch (or compute) the
-// shared baseline, run the altered environment and digest the comparison.
-// Any panic inside the model run fails only this cell.
-func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res *CellResult) {
-	res = &CellResult{Cell: cell}
-	defer func() {
-		if v := recover(); v != nil {
-			res.Error = fmt.Sprintf("panic: %v", v)
-		}
-	}()
-
+// cellConfig materializes one cell's core config from the spec's deployment
+// template and the cell coordinate.
+func cellConfig(spec Spec, cell Cell, resolve func(string) (chain.System, error)) (core.Config, error) {
 	cellSpec := spec.Base
 	cellSpec.System = cell.System
 	cellSpec.Seed = cell.Seed
 	if cell.Scenario != "" {
 		sc, ok := spec.scenarioByName(cell.Scenario)
 		if !ok {
-			res.Error = fmt.Sprintf("campaign: unknown scenario %q", cell.Scenario)
-			return res
+			return core.Config{}, fmt.Errorf("campaign: unknown scenario %q", cell.Scenario)
 		}
 		scaled := sc.Scaled(cell.Intensity)
 		cellSpec.Scenario = &scaled
@@ -165,7 +176,41 @@ func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res 
 			SlowBySec:  cell.SlowBySec,
 		}
 	}
-	cfg, err := cellSpec.Config(opts.Resolve)
+	return cellSpec.Config(resolve)
+}
+
+// scoreCell digests a comparison into the cell's measurement fields.
+func scoreCell(res *CellResult, cell Cell, cmp *core.Comparison) {
+	res.Score = cmp.Score.Value
+	res.Infinite = cmp.Score.Infinite
+	res.Benefit = cmp.Score.Benefit
+	res.Recovered = cmp.Recovered
+	res.RecoverySec = cmp.RecoveryTime.Seconds()
+	if cell.InjectSec > 0 {
+		// Stabilization: how long after injection the altered run
+		// sustained the baseline steady-state rate again, the
+		// flip side of Compare's recovery (measured from healing).
+		inject := time.Duration(cell.InjectSec * float64(time.Second))
+		ref := core.SteadyStateRate(cmp.Baseline, inject)
+		stab, ok := cmp.Altered.Throughput.RecoveryTime(
+			inject, ref, core.RecoveryFraction, core.RecoveryWindow)
+		res.Stabilized = ok
+		res.StabilizationSec = stab.Seconds()
+	}
+}
+
+// runCell executes one cell: materialize its config, fetch (or compute) the
+// shared baseline, run the altered environment and digest the comparison.
+// Any panic inside the model run fails only this cell.
+func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res *CellResult) {
+	res = &CellResult{Cell: cell}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Error = fmt.Sprintf("panic: %v", v)
+		}
+	}()
+
+	cfg, err := cellConfig(spec, cell, opts.Resolve)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -186,23 +231,7 @@ func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res 
 		res.Error = err.Error()
 		return res
 	}
-
-	res.Score = cmp.Score.Value
-	res.Infinite = cmp.Score.Infinite
-	res.Benefit = cmp.Score.Benefit
-	res.Recovered = cmp.Recovered
-	res.RecoverySec = cmp.RecoveryTime.Seconds()
-	if cell.InjectSec > 0 {
-		// Stabilization: how long after injection the altered run
-		// sustained the baseline steady-state rate again, the
-		// flip side of Compare's recovery (measured from healing).
-		inject := time.Duration(cell.InjectSec * float64(time.Second))
-		ref := core.SteadyStateRate(cmp.Baseline, inject)
-		stab, ok := cmp.Altered.Throughput.RecoveryTime(
-			inject, ref, core.RecoveryFraction, core.RecoveryWindow)
-		res.Stabilized = ok
-		res.StabilizationSec = stab.Seconds()
-	}
+	scoreCell(res, cell, cmp)
 	if rec != nil {
 		opts.Metrics(cell, rec)
 	}

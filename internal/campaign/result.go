@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 )
 
 // CellResult is the outcome of one executed cell.
@@ -140,6 +141,27 @@ type Result struct {
 	Points []*Point `json:"points"`
 	// Cells are the raw per-cell outcomes, in grid order.
 	Cells []*CellResult `json:"cells"`
+	// Checkpoint reports the adaptive mode's fork reuse; nil in grid mode.
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+}
+
+// CheckpointStats summarizes checkpoint reuse in an adaptive campaign. The
+// counts are deterministic (a function of the spec alone, not of timing or
+// worker count) and therefore part of the JSON artifact; the measured
+// wall-clock saving is not, and stays out of the JSON.
+type CheckpointStats struct {
+	// Families is how many checkpointable prefix groups the grid held.
+	Families int `json:"families"`
+	// ForkServed counts cells served by rewinding a family checkpoint.
+	ForkServed int `json:"forkServed"`
+	// FullReplays counts cells executed from scratch: one representative
+	// per family, plus every cell that was ineligible (secure-client,
+	// singleton families) or fell back after a sibling's panic.
+	FullReplays int `json:"fullReplays"`
+	// WallSaved estimates the wall-clock time forking avoided: the sum,
+	// over every fork-served cell, of its family's measured prefix time.
+	// Timing is nondeterministic, so it is excluded from the JSON.
+	WallSaved time.Duration `json:"-"`
 }
 
 // WriteJSON writes the result as indented JSON.
@@ -165,6 +187,10 @@ func (r *Result) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "campaign: %d cells (%d failed, %d lost liveness, %d benefited)\n",
 		r.TotalCells, r.FailedCells, r.InfiniteCells, r.BenefitCells); err != nil {
 		return err
+	}
+	if cp := r.Checkpoint; cp != nil {
+		fmt.Fprintf(w, "checkpoint reuse: %d of %d cells served from %d family fork(s), %d full replay(s)\n",
+			cp.ForkServed, r.TotalCells, cp.Families, cp.FullReplays)
 	}
 	for _, sys := range r.Systems {
 		fmt.Fprintf(w, "\n%s: mean score %.2f over %d runs (inf %d, failed %d)\n",

@@ -69,11 +69,29 @@ type Spec struct {
 	// SampleSeed seeds the sample draw; the same spec always selects the
 	// same cells.
 	SampleSeed int64 `json:"sampleSeed,omitempty"`
+	// Mode selects the execution strategy: "grid" (or empty) runs every
+	// cell as an independent from-scratch simulation; "adaptive" groups
+	// cells that share their pre-fault prefix (same system, seed, fault
+	// kind or scenario, inject and outage instants — differing only in
+	// swept magnitudes), runs each family's prefix once, checkpoints it at
+	// the first disruptive action and serves the remaining members by
+	// rewinding the checkpoint. Results are byte-identical between the
+	// modes and across worker counts; only wall-clock time changes.
+	Mode string `json:"mode,omitempty"`
 	// Base is the deployment template shared by every cell (validators,
 	// clients, rate, duration, profile, …). Its system, seed, fault and
 	// scenario fields are ignored: the campaign dimensions override them.
 	Base core.Spec `json:"base,omitempty"`
 }
+
+// Execution modes for Spec.Mode.
+const (
+	// ModeGrid runs every cell from scratch (the default).
+	ModeGrid = "grid"
+	// ModeAdaptive forks shared checkpoints at the fault-injection
+	// instant.
+	ModeAdaptive = "adaptive"
+)
 
 // ParseSpec decodes a campaign spec from JSON, rejecting unknown fields.
 func ParseSpec(r io.Reader) (Spec, error) {
@@ -149,6 +167,11 @@ func (s Spec) validate() error {
 	}
 	if s.Sample < 0 {
 		return fmt.Errorf("campaign: sample must be non-negative, got %d", s.Sample)
+	}
+	switch s.Mode {
+	case "", ModeGrid, ModeAdaptive:
+	default:
+		return fmt.Errorf("campaign: unknown mode %q (valid: %s|%s)", s.Mode, ModeGrid, ModeAdaptive)
 	}
 	seen := make(map[string]bool, len(s.Scenarios))
 	for _, sc := range s.Scenarios {

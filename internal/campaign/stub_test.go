@@ -6,6 +6,7 @@ import (
 
 	"stabl/internal/chain"
 	"stabl/internal/simnet"
+	"stabl/internal/snapshot"
 )
 
 // stubSystem is a minimal chain for exercising the engine: node 0 seals its
@@ -35,6 +36,7 @@ func (s *stubSystem) NewValidator(id simnet.NodeID, peers []simnet.NodeID, mon *
 
 type stubValidator struct {
 	base        *chain.BaseNode
+	ctx         *simnet.Context
 	panicOnStop bool
 	ticker      interface{ Stop() }
 }
@@ -44,9 +46,10 @@ type stubBlock struct{ Block chain.Block }
 
 func (v *stubValidator) Start(ctx *simnet.Context) {
 	v.base.Reset(ctx)
+	v.ctx = ctx
 	v.base.OnLocalSubmit = func(tx chain.Tx) {
 		if v.base.ID != v.base.Peers[0] {
-			ctx.Send(v.base.Peers[0], stubForward{Tx: tx})
+			v.ctx.Send(v.base.Peers[0], stubForward{Tx: tx})
 			v.base.Subscribe(tx.ID, v.base.ID)
 		}
 	}
@@ -85,6 +88,31 @@ func (v *stubValidator) Deliver(from simnet.NodeID, payload any) {
 	case stubBlock:
 		v.base.SubmitBlock(msg.Block)
 	}
+}
+
+// stubState makes the stub Forkable so adaptive-mode tests exercise real
+// checkpoint serving. All mutable consensus state lives in the BaseNode;
+// the ticker and context follow the restore-through-pointers rule.
+type stubState struct {
+	base   chain.BaseState
+	ctx    *simnet.Context
+	ticker interface{ Stop() }
+}
+
+var _ snapshot.Forkable = (*stubValidator)(nil)
+
+func (v *stubValidator) Snapshot() snapshot.State {
+	return &stubState{base: v.base.SnapshotBase(), ctx: v.ctx, ticker: v.ticker}
+}
+
+func (v *stubValidator) Restore(state snapshot.State) {
+	st, ok := state.(*stubState)
+	if !ok {
+		panic("campaign: stubValidator.Restore on foreign state")
+	}
+	v.base.RestoreBase(st.base)
+	v.ctx = st.ctx
+	v.ticker = st.ticker
 }
 
 // resolveStubs maps "Stub" to the healthy stub chain and "Panicky" to the

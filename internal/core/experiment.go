@@ -17,6 +17,7 @@ import (
 	"stabl/internal/scenario"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
+	"stabl/internal/snapshot"
 	"stabl/internal/stats"
 	"stabl/internal/workload"
 )
@@ -296,8 +297,46 @@ type RunResult struct {
 	IntegrityErrors []string
 }
 
+// Experiment is a built but not-yet-finished run: the deployed network, the
+// chain nodes, the workload and the fault script, exposed in phases so a run
+// can be checkpointed mid-flight and forked (see fork.go). Run composes the
+// phases — Build, Start, RunUntil, Collect — exactly as a plain run does.
+type Experiment struct {
+	cfg        Config
+	sched      *sim.Scheduler
+	net        *simnet.Network
+	monitor    *chain.Monitor
+	rec        *metrics.Recorder
+	validators []simnet.Handler
+	bases      []*chain.BaseNode
+	clients    []*client.Client
+	gens       []*workload.Generator
+	readers    []*client.VerifiedReader
+	observers  []*observer.Observer
+	primary    *observer.Primary
+	faulty     []simnet.NodeID
+	compiled   *scenario.Compiled
+	started    bool
+	forkable   *snapshot.Set
+}
+
 // Run executes a single experiment run and collects its measurements.
 func Run(cfg Config) (*RunResult, error) {
+	e, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.Start()
+	e.RunUntil(e.cfg.Duration)
+	return e.Collect(), nil
+}
+
+// Build materializes the experiment — scheduler, network, validators,
+// observers, primary, clients, readers — without scheduling the workload or
+// running anything. The construction order is fixed: it determines the
+// scheduler's RNG/ticker registration order, which forked continuations rely
+// on.
+func Build(cfg Config) (*Experiment, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -331,44 +370,44 @@ func Run(cfg Config) (*RunResult, error) {
 		peers[i] = simnet.NodeID(i)
 	}
 	genesis := genesisAccounts(cfg)
+	var validators []simnet.Handler
 	var bases []*chain.BaseNode
 	for _, id := range peers {
 		h := cfg.System.NewValidator(id, peers, monitor, genesis)
 		if b, ok := h.(interface{ Base() *chain.BaseNode }); ok {
 			bases = append(bases, b.Base())
 		}
+		validators = append(validators, h)
 		net.AddNode(id, h)
 	}
 	net.ManageConns(peers, cfg.System.ConnParams())
 
 	// Observers and primary (Fig 2).
 	mapping := make(map[simnet.NodeID]simnet.NodeID, cfg.Validators)
+	observers := make([]*observer.Observer, 0, cfg.Validators)
 	for i, id := range peers {
 		obsID := simnet.NodeID(observerIDBase + i)
-		net.AddNode(obsID, observer.New(id, net))
+		obs := observer.New(id, net)
+		observers = append(observers, obs)
+		net.AddNode(obsID, obs)
 		mapping[id] = obsID
 	}
-	faulty := cfg.faultyNodes()
-	script := cfg.faultScript(faulty)
-	var compiled *scenario.Compiled
-	if cfg.Scenario != nil {
-		var err error
-		compiled, err = cfg.compileScenario()
-		if err != nil {
-			return nil, err
-		}
-		faulty = compiled.Affected
-		script = compiled.Script
+	faulty, script, compiled, err := cfg.FaultOutline()
+	if err != nil {
+		return nil, err
 	}
-	net.AddNode(primaryID, observer.NewPrimary(script, mapping))
+	primary := observer.NewPrimary(script, mapping)
+	net.AddNode(primaryID, primary)
 
 	// Clients.
 	clients := make([]*client.Client, cfg.Clients)
+	gens := make([]*workload.Generator, cfg.Clients)
 	accountSets := workload.Accounts(cfg.Clients, cfg.AccountsPerClient)
 	all := workload.AllAccounts(accountSets)
 	for i := range clients {
 		gen := workload.NewGenerator(uint32(i), accountSets[i], all,
 			sched.RNG(fmt.Sprintf("workload/%d", i)))
+		gens[i] = gen
 		clients[i] = client.New(client.Config{
 			Index:      uint32(i),
 			Endpoints:  cfg.clientEndpoints(i),
@@ -404,60 +443,153 @@ func Run(cfg Config) (*RunResult, error) {
 		}
 	}
 
-	if rec != nil {
-		cfg.describeRun(rec, faulty, compiled)
+	return &Experiment{
+		cfg:        cfg,
+		sched:      sched,
+		net:        net,
+		monitor:    monitor,
+		rec:        rec,
+		validators: validators,
+		bases:      bases,
+		clients:    clients,
+		gens:       gens,
+		readers:    readers,
+		observers:  observers,
+		primary:    primary,
+		faulty:     faulty,
+		compiled:   compiled,
+	}, nil
+}
+
+// Start annotates the recorder, schedules the periodic gauge sampler and
+// starts every network handler. It must be called exactly once, before the
+// first RunUntil.
+func (e *Experiment) Start() {
+	if e.started {
+		panic("core: Experiment.Start called twice")
+	}
+	e.started = true
+	if rec := e.rec; rec != nil {
+		e.cfg.describeRun(rec, e.faulty, e.compiled)
 		// Periodic gauge sampling: chain-side backlog (mempool depth),
 		// client-side backlog (in-flight submissions) and chain height.
 		// The sampler only reads state — no messages, no RNG — so the
 		// simulation unfolds identically with or without it.
-		for t := time.Duration(0); t < cfg.Duration; t += rec.Interval() {
-			sched.At(t, func() {
-				now := sched.Now()
+		for t := time.Duration(0); t < e.cfg.Duration; t += rec.Interval() {
+			e.sched.At(t, func() {
+				now := e.sched.Now()
 				depth := 0
-				for _, b := range bases {
+				for _, b := range e.bases {
 					depth += b.Pool.Len()
 				}
 				pending := 0
-				for _, cl := range clients {
+				for _, cl := range e.clients {
 					pending += cl.PendingCount()
 				}
 				rec.Gauge(now, "mempool_depth", float64(depth))
 				rec.Gauge(now, "client_pending", float64(pending))
-				rec.Gauge(now, "chain_height", float64(monitor.MaxHeight()))
+				rec.Gauge(now, "chain_height", float64(e.monitor.MaxHeight()))
 			})
 		}
 	}
+	e.net.StartAll()
+}
 
-	net.StartAll()
-	sched.RunUntil(cfg.Duration)
+// RunUntil advances the simulation to the given virtual instant. It may be
+// called repeatedly with increasing deadlines; a forked continuation resumes
+// from the checkpoint instant with another RunUntil.
+func (e *Experiment) RunUntil(deadline time.Duration) {
+	e.sched.RunUntil(deadline)
+}
 
-	res := &RunResult{
-		IntegrityErrors: monitor.IntegrityErrors(),
-		UniqueCommits:   monitor.UniqueCommits(),
-		LastCommitAt:    monitor.LastCommitAt(),
-		MaxHeight:       monitor.MaxHeight(),
-		FaultyNodes:     faulty,
-		Events:          sched.Fired(),
-		NetStats:        net.Stats(),
+// Now returns the current virtual time.
+func (e *Experiment) Now() time.Duration { return e.sched.Now() }
+
+// Config returns the experiment's materialized (default-applied) config.
+func (e *Experiment) Config() Config { return e.cfg }
+
+// Primary returns the fault-script coordinator; forked continuations steer
+// onto sibling schedules through its SetScript.
+func (e *Experiment) Primary() *observer.Primary { return e.primary }
+
+// Recorder returns the metrics recorder attached to the run, nil when the
+// config had none.
+func (e *Experiment) Recorder() *metrics.Recorder { return e.rec }
+
+// Compiled returns the compiled scenario timeline, nil for single-fault and
+// fault-free runs.
+func (e *Experiment) Compiled() *scenario.Compiled { return e.compiled }
+
+// SetFaultTargets overrides the fault-target list reported by Collect. A
+// forked continuation steered onto a sibling script (whose node sets differ)
+// records the sibling's targets, exactly as a from-scratch run of that script
+// would.
+func (e *Experiment) SetFaultTargets(faulty []simnet.NodeID) { e.faulty = faulty }
+
+// FirstDisrupt returns the virtual instant the first disruptive action
+// fires: the compiled scenario's first phase, the fault plan's InjectAt, or
+// zero when the run injects nothing (then there is nothing to fork around).
+func (e *Experiment) FirstDisrupt() time.Duration {
+	if e.compiled != nil {
+		return e.compiled.FirstDisrupt
 	}
-	times := make([]time.Duration, 0, monitor.UniqueCommits())
-	for _, ev := range monitor.Commits() {
+	if e.cfg.Fault.Kind.NeedsNodes() {
+		return e.cfg.Fault.InjectAt
+	}
+	return 0
+}
+
+// Collect assembles the run's measurements. It only reads state, so it can
+// be called after every forked continuation.
+func (e *Experiment) Collect() *RunResult {
+	cfg := e.cfg
+	res := &RunResult{
+		IntegrityErrors: e.monitor.IntegrityErrors(),
+		UniqueCommits:   e.monitor.UniqueCommits(),
+		LastCommitAt:    e.monitor.LastCommitAt(),
+		MaxHeight:       e.monitor.MaxHeight(),
+		FaultyNodes:     e.faulty,
+		Events:          e.sched.Fired(),
+		NetStats:        e.net.Stats(),
+	}
+	times := make([]time.Duration, 0, e.monitor.UniqueCommits())
+	for _, ev := range e.monitor.Commits() {
 		times = append(times, ev.Committed)
 	}
 	res.Throughput = stats.Throughput(times, cfg.Bucket, cfg.Duration)
-	for _, cl := range clients {
+	for _, cl := range e.clients {
 		res.Latencies = append(res.Latencies, cl.Latencies()...)
 		res.Submitted += cl.Submitted()
 		res.Pending += cl.PendingCount()
 	}
-	for _, r := range readers {
+	for _, r := range e.readers {
 		res.ReadLatencies = append(res.ReadLatencies, r.Latencies()...)
 		res.Reads += r.Reads()
 		res.ReadMismatches += r.Mismatches()
 		res.ReadDivergences += r.Divergences()
 	}
 	res.LivenessLost = res.LastCommitAt < cfg.Duration-cfg.LivenessGrace
-	return res, nil
+	return res
+}
+
+// FaultOutline lowers the config's adversarial environment onto the
+// deployment: the affected nodes and the primary's action script, plus the
+// compiled timeline for scenario runs. Build uses it, and adaptive campaigns
+// call it directly to compute the sibling script a forked continuation is
+// steered onto.
+func (c Config) FaultOutline() (faulty []simnet.NodeID, script []observer.Action, compiled *scenario.Compiled, err error) {
+	c = c.withDefaults()
+	faulty = c.faultyNodes()
+	script = c.faultScript(faulty)
+	if c.Scenario != nil {
+		compiled, err = c.compileScenario()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		faulty = compiled.Affected
+		script = compiled.Script
+	}
+	return faulty, script, compiled, nil
 }
 
 // compileScenario lowers cfg.Scenario onto this deployment. Random node
@@ -479,6 +611,17 @@ func (c Config) compileScenario() (*scenario.Compiled, error) {
 // timeline with the fault plan's inject/recover instants — or, for scenario
 // runs, with one phase annotation per compiled timeline step.
 func (c Config) describeRun(rec *metrics.Recorder, faulty []simnet.NodeID, compiled *scenario.Compiled) {
+	info, evs := c.runAnnotations(faulty, compiled)
+	rec.SetRun(info)
+	for _, ev := range evs {
+		rec.AddEvent(ev)
+	}
+}
+
+// runAnnotations derives the recorder's run identity and head annotation
+// events for this config. The derivation is pure, so a cloned recorder can
+// be re-stamped for a sibling config (see RestampRun).
+func (c Config) runAnnotations(faulty []simnet.NodeID, compiled *scenario.Compiled) (metrics.RunInfo, []metrics.Event) {
 	info := metrics.RunInfo{
 		System:     c.System.Name(),
 		Seed:       c.Seed,
@@ -487,32 +630,32 @@ func (c Config) describeRun(rec *metrics.Recorder, faulty []simnet.NodeID, compi
 		Clients:    c.Clients,
 		Duration:   c.Duration,
 	}
+	var evs []metrics.Event
 	if compiled != nil {
 		info.Fault = "scenario:" + c.Scenario.Name
 		info.InjectAt = compiled.FirstDisrupt
 		info.RecoverAt = compiled.LastRevert
-		rec.SetRun(info)
 		for _, ph := range compiled.Phases {
-			rec.AddEvent(metrics.Event{
+			evs = append(evs, metrics.Event{
 				At: ph.At, Kind: metrics.EventPhase,
 				Node: -1, Round: -1, Leader: -1, Detail: ph.Label,
 			})
 		}
 		if compiled.FirstDisrupt > 0 {
-			rec.AddEvent(metrics.Event{
+			evs = append(evs, metrics.Event{
 				At: compiled.FirstDisrupt, Kind: metrics.EventFaultInject,
 				Node: -1, Round: -1, Leader: -1,
 				Detail: fmt.Sprintf("scenario %s f=%d", c.Scenario.Name, len(faulty)),
 			})
 		}
 		if compiled.LastRevert > 0 {
-			rec.AddEvent(metrics.Event{
+			evs = append(evs, metrics.Event{
 				At: compiled.LastRevert, Kind: metrics.EventFaultRecover,
 				Node: -1, Round: -1, Leader: -1,
 				Detail: fmt.Sprintf("scenario %s last revert", c.Scenario.Name),
 			})
 		}
-		return
+		return info, evs
 	}
 	if c.Fault.Kind.NeedsNodes() {
 		info.InjectAt = c.Fault.InjectAt
@@ -520,20 +663,33 @@ func (c Config) describeRun(rec *metrics.Recorder, faulty []simnet.NodeID, compi
 	if c.Fault.Kind.Recovers() {
 		info.RecoverAt = c.Fault.RecoverAt
 	}
-	rec.SetRun(info)
 	if c.Fault.Kind.NeedsNodes() {
 		detail := fmt.Sprintf("%s f=%d", c.Fault.Kind, len(faulty))
-		rec.AddEvent(metrics.Event{
+		evs = append(evs, metrics.Event{
 			At: c.Fault.InjectAt, Kind: metrics.EventFaultInject,
 			Node: -1, Round: -1, Leader: -1, Detail: detail,
 		})
 		if c.Fault.Kind.Recovers() {
-			rec.AddEvent(metrics.Event{
+			evs = append(evs, metrics.Event{
 				At: c.Fault.RecoverAt, Kind: metrics.EventFaultRecover,
 				Node: -1, Round: -1, Leader: -1, Detail: detail,
 			})
 		}
 	}
+	return info, evs
+}
+
+// RestampRun rewrites the run-identity annotations a family representative's
+// describeRun left on a cloned recorder with the steered member's own, so an
+// adaptive campaign's per-cell metrics dump is byte-identical to a
+// from-scratch run of that member. The representative and the member share
+// the annotation shape (same fault kind or scenario, same instants), so the
+// replacement is positional.
+func RestampRun(rec *metrics.Recorder, cfg Config, faulty []simnet.NodeID, compiled *scenario.Compiled) {
+	cfg = cfg.withDefaults()
+	info, evs := cfg.runAnnotations(faulty, compiled)
+	rec.SetRun(info)
+	rec.ReplaceHeadEvents(len(evs), evs)
 }
 
 // genesisAccounts funds every workload account generously so transfers never

@@ -108,24 +108,39 @@ func CompareWithBaseline(cfg Config, baseline *RunResult) (*Comparison, error) {
 		return nil, fmt.Errorf("core: config needs a System")
 	}
 
-	altCfg := cfg
-	if cfg.Fault.Kind == FaultSecureClient {
-		// The secure client submits to t+1 validators; the paper also
-		// doubles VM resources for this experiment on every chain.
-		altCfg.Fanout = cfg.System.Tolerance(cfg.Validators) + 1
-		if altCfg.Fanout > altCfg.Clients {
-			altCfg.Fanout = altCfg.Clients
-		}
-		if scaler, ok := cfg.System.(ResourceScaler); ok {
-			altCfg.System = scaler.WithResources(SecureResourceScale)
-		}
-	}
-
-	altered, err := Run(altCfg)
+	// The secure client submits to t+1 validators; the paper also doubles
+	// VM resources for this experiment on every chain.
+	altered, err := Run(AlteredConfig(cfg))
 	if err != nil {
 		return nil, fmt.Errorf("altered run: %w", err)
 	}
+	return ScoreWithBaseline(cfg, baseline, altered)
+}
 
+// AlteredConfig returns the config of the altered run Compare would execute
+// for cfg: identical except for the secure-client experiment, whose clients
+// fan out to t+1 validators on doubled resources. Adaptive campaigns build
+// the altered experiment themselves and need the same derivation.
+func AlteredConfig(cfg Config) Config {
+	cfg = cfg.withDefaults()
+	if cfg.Fault.Kind == FaultSecureClient {
+		cfg.Fanout = cfg.System.Tolerance(cfg.Validators) + 1
+		if cfg.Fanout > cfg.Clients {
+			cfg.Fanout = cfg.Clients
+		}
+		if scaler, ok := cfg.System.(ResourceScaler); ok {
+			cfg.System = scaler.WithResources(SecureResourceScale)
+		}
+	}
+	return cfg
+}
+
+// ScoreWithBaseline computes the sensitivity comparison from an
+// already-collected altered run. CompareWithBaseline is Run + this; adaptive
+// campaigns call it directly with results collected from forked
+// continuations.
+func ScoreWithBaseline(cfg Config, baseline, altered *RunResult) (*Comparison, error) {
+	cfg = cfg.withDefaults()
 	cmp := &Comparison{
 		System:   cfg.System.Name(),
 		Fault:    cfg.Fault,
@@ -145,7 +160,7 @@ func CompareWithBaseline(cfg Config, baseline *RunResult) (*Comparison, error) {
 		// disruption is reverted, against the steady rate before the first
 		// one hit. Compiling here replays the exact node selection of the
 		// altered run: the derivation is pure, keyed only on (seed, action).
-		compiled, err := altCfg.compileScenario()
+		compiled, err := cfg.compileScenario()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,136 @@
+package kernelbench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stabl"
+	"stabl/internal/core"
+)
+
+// forkFamilyCounts are the swept fault counts of the benchmark family: four
+// transient-fault cells that differ only in how many nodes they kill, the
+// exact shape an adaptive campaign groups under one checkpoint.
+var forkFamilyCounts = []int{2, 3, 4, 5}
+
+// forkFamilyConfig is one member of the benchmark family: Redbelly under a
+// transient fault killing count nodes. The instants keep the paper's 1/3 and
+// 2/3 proportions at any duration, so short smoke runs still checkpoint.
+func forkFamilyConfig(count int, duration time.Duration) core.Config {
+	return core.Config{
+		System:   stabl.NewRedbelly(),
+		Seed:     42,
+		Duration: duration,
+		Fault: core.FaultPlan{
+			Kind:      core.FaultTransient,
+			Count:     count,
+			InjectAt:  duration / 3,
+			RecoverAt: 2 * duration / 3,
+		},
+	}
+}
+
+// RunFork measures checkpoint-at-inject forking against from-scratch
+// replays: the same four-member fault family executed once as independent
+// full runs and once as one shared prefix plus forked continuations. The
+// report (BENCH_fork.json via `stabl bench`) quantifies what an adaptive
+// campaign saves per family; the fork goldens separately prove the two
+// executions are byte-identical.
+func RunFork(opts Options) (*Report, error) {
+	duration := opts.Duration
+	if duration == 0 {
+		duration = 400 * time.Second
+	}
+	rep := newReportHeader(duration)
+
+	if opts.Progress != nil {
+		opts.Progress("ReplayFamily")
+	}
+	var events uint64
+	var runErr error
+	resReplay := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		events = 0
+		for i := 0; i < b.N; i++ {
+			for _, count := range forkFamilyCounts {
+				res, err := core.Run(core.AlteredConfig(forkFamilyConfig(count, duration)))
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				events += res.Events
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("kernelbench: ReplayFamily: %w", runErr)
+	}
+	replay := newEntry("ReplayFamily", "fork", resReplay)
+	if sec := resReplay.T.Seconds(); sec > 0 {
+		replay.EventsPerSec = float64(events) / sec
+	}
+	rep.Entries = append(rep.Entries, replay)
+
+	if opts.Progress != nil {
+		opts.Progress("ForkFamily")
+	}
+	resFork := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		events = 0
+		for i := 0; i < b.N; i++ {
+			n, err := runForkedFamily(duration)
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			events += n
+		}
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("kernelbench: ForkFamily: %w", runErr)
+	}
+	forked := newEntry("ForkFamily", "fork", resFork)
+	if sec := resFork.T.Seconds(); sec > 0 {
+		forked.EventsPerSec = float64(events) / sec
+	}
+	if forked.NsPerOp > 0 {
+		forked.Speedup = replay.NsPerOp / forked.NsPerOp
+	}
+	rep.Entries = append(rep.Entries, forked)
+	return rep, nil
+}
+
+// runForkedFamily executes the family the adaptive way: build the first
+// member, run to the checkpoint just before injection, finish it, then serve
+// every sibling by rewinding and steering onto its script. Returns the total
+// scheduler events fired across the member runs (each counts its full
+// prefix+suffix, as a from-scratch run would).
+func runForkedFamily(duration time.Duration) (uint64, error) {
+	exp, err := core.Build(core.AlteredConfig(forkFamilyConfig(forkFamilyCounts[0], duration)))
+	if err != nil {
+		return 0, err
+	}
+	fp, err := core.RunToCheckpoint(exp)
+	if err != nil {
+		return 0, err
+	}
+	if fp == nil {
+		return 0, fmt.Errorf("family has no checkpoint instant")
+	}
+	exp.RunUntil(duration)
+	events := exp.Collect().Events
+	for _, count := range forkFamilyCounts[1:] {
+		cfg := forkFamilyConfig(count, duration)
+		faulty, script, _, err := cfg.FaultOutline()
+		if err != nil {
+			return 0, err
+		}
+		fp.Rewind()
+		exp.Primary().SetScript(script)
+		exp.SetFaultTargets(faulty)
+		exp.RunUntil(duration)
+		events += exp.Collect().Events
+	}
+	return events, nil
+}

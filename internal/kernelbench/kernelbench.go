@@ -36,6 +36,9 @@ type Entry struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	// MsgsPerSec is set for network microbenchmarks.
 	MsgsPerSec float64 `json:"msgs_per_sec,omitempty"`
+	// Speedup is set on fork-suite entries: this entry's ns/op relative
+	// to its from-scratch-replay counterpart (>1 means forking wins).
+	Speedup float64 `json:"speedup,omitempty"`
 	// WallSeconds is the total measured wall time of all iterations.
 	WallSeconds float64 `json:"wall_seconds"`
 }
@@ -188,12 +191,7 @@ func Run(opts Options) (*Report, error) {
 	if duration == 0 {
 		duration = 400 * time.Second
 	}
-	rep := &Report{
-		GoVersion:       runtime.Version(),
-		GOOS:            runtime.GOOS,
-		GOARCH:          runtime.GOARCH,
-		VirtualDuration: duration.String(),
-	}
+	rep := newReportHeader(duration)
 	if !opts.SkipFigures {
 		for _, fig := range figureSuite(opts.Full) {
 			if opts.Progress != nil {
@@ -239,6 +237,15 @@ func Run(opts Options) (*Report, error) {
 	return rep, nil
 }
 
+func newReportHeader(duration time.Duration) *Report {
+	return &Report{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		VirtualDuration: duration.String(),
+	}
+}
+
 func newEntry(name, kind string, res testing.BenchmarkResult) Entry {
 	return Entry{
 		Name:        name,
@@ -273,8 +280,12 @@ func (r *Report) WriteText(w io.Writer) error {
 		case e.MsgsPerSec > 0:
 			rate = fmt.Sprintf("%12.0f msgs/s", e.MsgsPerSec)
 		}
-		if _, err := fmt.Fprintf(w, "  %-26s %12.0f ns/op %8d allocs/op %10d B/op%s\n",
-			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, rate); err != nil {
+		speedup := ""
+		if e.Speedup > 0 {
+			speedup = fmt.Sprintf("  %.2fx vs replay", e.Speedup)
+		}
+		if _, err := fmt.Fprintf(w, "  %-26s %12.0f ns/op %8d allocs/op %10d B/op%s%s\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, rate, speedup); err != nil {
 			return err
 		}
 	}

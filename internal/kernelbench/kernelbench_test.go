@@ -62,6 +62,51 @@ func TestFigureReportShape(t *testing.T) {
 	}
 }
 
+// TestForkReportShape runs the fork-vs-replay suite at a tiny virtual
+// duration and checks both entries measure throughput and the fork entry
+// carries a speedup ratio.
+func TestForkReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernelbench fork smoke skipped in -short mode")
+	}
+	var names []string
+	rep, err := RunFork(Options{
+		Duration: 30 * time.Second,
+		Progress: func(name string) { names = append(names, name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("entries = %d, want ReplayFamily and ForkFamily", len(rep.Entries))
+	}
+	if len(names) != 2 || names[0] != "ReplayFamily" || names[1] != "ForkFamily" {
+		t.Fatalf("progress calls = %v", names)
+	}
+	for _, e := range rep.Entries {
+		if e.Kind != "fork" {
+			t.Errorf("%s: kind = %q, want fork", e.Name, e.Kind)
+		}
+		if e.EventsPerSec <= 0 || e.NsPerOp <= 0 {
+			t.Errorf("%s: throughput not measured", e.Name)
+		}
+	}
+	if rep.Entries[0].Speedup != 0 {
+		t.Errorf("replay entry carries a speedup ratio: %v", rep.Entries[0].Speedup)
+	}
+	if rep.Entries[1].Speedup <= 0 {
+		t.Errorf("fork entry speedup = %v, want positive", rep.Entries[1].Speedup)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vs replay") {
+		t.Fatalf("text table does not render the speedup:\n%s", buf.String())
+	}
+}
+
 // TestMicroSuiteRunsOne exercises one microbenchmark end to end through
 // testing.Benchmark so the CLI path is covered without paying for the whole
 // suite.

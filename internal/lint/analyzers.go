@@ -13,6 +13,7 @@ func All() []*Analyzer {
 		Wallclock,
 		GlobalRand,
 		UnsortedBroadcast,
+		SnapshotMapOrder,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all

@@ -22,6 +22,7 @@ var fixtureAnalyzers = map[string]string{
 	"globalrand":    "globalrand",
 	"unsorted":      "unsorted-broadcast",
 	"suppress":      "globalrand",
+	"snapshotorder": "snapshot-maporder",
 }
 
 func fixtureDirs() []string {
@@ -147,8 +148,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 4 {
-		t.Fatalf("Select(\"\") returned %d analyzers, want 4", len(all))
+	if len(all) != 5 {
+		t.Fatalf("Select(\"\") returned %d analyzers, want 5", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapshotMapOrder guards the run-forking subsystem: inside a Snapshot/
+// Restore path (methods named Snapshot*, Restore* and every package-local
+// function they transitively call), a `range` over a map must not serialize
+// its contents into a slice that is never sorted. A snapshot built that way
+// embeds Go's randomized map iteration order, so a continuation rewound from
+// it can replay commits, deliveries or round state in a different order than
+// the from-scratch run the fork goldens compare against — the forking
+// equivalent of the map-order bug class maprange-rng catches on the send
+// path. Map-to-map copies and appends to a slice created fresh in the loop
+// body (`append([]T(nil), v...)`) are order-insensitive and stay silent, as
+// does the sorted-keys idiom (collect, sort, then use).
+var SnapshotMapOrder = &Analyzer{
+	Name: "snapshot-maporder",
+	Doc:  "Snapshot/Restore path serializes a map range into an unsorted slice",
+	Run:  runSnapshotMapOrder,
+}
+
+func runSnapshotMapOrder(p *Pass) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// The snapshot path: Snapshot*/Restore* declarations plus the
+	// package-local helpers they reach (restoreState, copySeries, …).
+	// Marking is idempotent, so the map-ordered seeding below cannot
+	// affect the resulting set.
+	inPath := make(map[*types.Func]bool)
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if inPath[fn] {
+			return
+		}
+		inPath[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := p.Info.Uses[id].(*types.Func); ok && callee.Pkg() == p.Pkg {
+				if _, declared := decls[callee]; declared {
+					mark(callee)
+				}
+			}
+			return true
+		})
+	}
+	for fn, fd := range decls {
+		name := fd.Name.Name
+		if strings.HasPrefix(name, "Snapshot") || strings.HasPrefix(name, "Restore") {
+			mark(fn)
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil || !inPath[obj] {
+				continue
+			}
+			p.checkSnapshotFunc(fd)
+		}
+	}
+}
+
+// checkSnapshotFunc flags map ranges in fd whose body accumulates into a
+// pre-existing slice, unless that slice later flows into a sort/slices call
+// in the same function (the sorted-keys idiom).
+func (p *Pass) checkSnapshotFunc(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			target := accumulatorExpr(call.Args[0])
+			if target == nil {
+				return true // appends to a per-iteration fresh slice
+			}
+			name := types.ExprString(target)
+			if sortedInFunc(fd.Body, name) {
+				return true
+			}
+			p.Reportf(rng.For,
+				"snapshot path serializes map %s into slice %s without sorting, so the captured state follows Go's randomized map order and a forked continuation can diverge from replay; iterate sorted keys or sort the result",
+				types.ExprString(rng.X), name)
+			return true
+		})
+		return true
+	})
+}
+
+// accumulatorExpr returns the storage expression an append grows, or nil
+// when the first argument is created fresh at the call site (a conversion
+// like []T(nil), make(...), or a composite literal), which no iteration
+// order can reorder.
+func accumulatorExpr(e ast.Expr) ast.Expr {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return accumulatorExpr(v.X)
+	case *ast.SliceExpr:
+		return accumulatorExpr(v.X)
+	case *ast.CallExpr, *ast.CompositeLit:
+		return nil
+	default:
+		return e
+	}
+}
+
+// sortedInFunc reports whether body contains a call into the sort or slices
+// package whose arguments mention name — the collect-sort-use idiom, which
+// erases map order before anything observes it.
+func sortedInFunc(body ast.Node, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(types.ExprString(arg), name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

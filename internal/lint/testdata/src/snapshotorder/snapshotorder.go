@@ -1,0 +1,85 @@
+// Package snapshotorder seeds the snapshot-maporder analyzer: Snapshot and
+// Restore paths that serialize a map range into a persistent slice must be
+// flagged, while map-to-map copies, per-iteration fresh slices, the
+// collect-sort idiom, and identical code outside the snapshot path all stay
+// silent.
+package snapshotorder
+
+import "sort"
+
+type validator struct {
+	pending map[int]string
+	tags    map[int][]string
+	log     []int
+}
+
+type state struct {
+	pending map[int]string
+	tags    map[int][]string
+	order   []int
+}
+
+// Snapshot serializes the pending map straight into the order slice: the
+// captured bytes follow Go's randomized map order.
+func (v *validator) Snapshot() any {
+	st := &state{
+		pending: make(map[int]string, len(v.pending)),
+		tags:    make(map[int][]string, len(v.tags)),
+	}
+	for id, tx := range v.pending { // want "serializes map v.pending into slice st.order"
+		st.pending[id] = tx
+		st.order = append(st.order, id)
+	}
+	// Map-to-map copies with per-iteration fresh slices are
+	// order-insensitive and must stay silent.
+	for id, tags := range v.tags {
+		st.tags[id] = append([]string(nil), tags...)
+	}
+	return st
+}
+
+// Restore reaches the hazard through a package-local helper: the path
+// closure must follow calls out of Restore* declarations.
+func (v *validator) Restore(st any) {
+	s := st.(*state)
+	v.pending = make(map[int]string, len(s.pending))
+	for id, tx := range s.pending {
+		v.pending[id] = tx
+	}
+	v.log = collectIDs(s.pending)
+}
+
+func collectIDs(m map[int]string) []int {
+	var ids []int
+	for id := range m { // want "serializes map m into slice ids"
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// SnapshotSorted is the fix: collect, sort, then use. The sort call erases
+// map order before anything observes it, so the analyzer stays silent.
+func (v *validator) SnapshotSorted() any {
+	st := &state{pending: make(map[int]string, len(v.pending))}
+	keys := make([]int, 0, len(v.pending))
+	for id := range v.pending {
+		keys = append(keys, id)
+	}
+	sort.Ints(keys)
+	for _, id := range keys {
+		st.pending[id] = v.pending[id]
+		st.order = append(st.order, id)
+	}
+	return st
+}
+
+// debugDump is byte-for-byte the collectIDs hazard, but it is not reachable
+// from any Snapshot/Restore declaration, so the snapshot-scoped analyzer
+// leaves it to code review (and to maprange-rng if it ever grows a sink).
+func (v *validator) debugDump() []int {
+	var ids []int
+	for id := range v.pending {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"stabl/internal/simnet"
+	"stabl/internal/snapshot"
+)
+
+// recorderState is a Recorder checkpoint.
+type recorderState struct {
+	run      RunInfo
+	counters map[string][]Sample
+	gauges   map[string][]Sample
+	obs      map[string][]Sample
+	events   []Event
+	trace    []simnet.TraceEvent
+}
+
+var _ snapshot.Forkable = (*Recorder)(nil)
+
+func copySeries(src map[string][]Sample) map[string][]Sample {
+	out := make(map[string][]Sample, len(src))
+	for name, samples := range src {
+		out[name] = append([]Sample(nil), samples...)
+	}
+	return out
+}
+
+// Snapshot captures every recorded series, event and trace entry.
+func (r *Recorder) Snapshot() snapshot.State {
+	return &recorderState{
+		run:      r.run,
+		counters: copySeries(r.counters),
+		gauges:   copySeries(r.gauges),
+		obs:      copySeries(r.obs),
+		events:   append([]Event(nil), r.events...),
+		trace:    append([]simnet.TraceEvent(nil), r.trace...),
+	}
+}
+
+// Restore rewinds the recorder to a state captured by Snapshot.
+func (r *Recorder) Restore(state snapshot.State) {
+	st, ok := state.(*recorderState)
+	if !ok {
+		panic("metrics: Recorder.Restore on foreign state")
+	}
+	r.run = st.run
+	r.counters = copySeries(st.counters)
+	r.gauges = copySeries(st.gauges)
+	r.obs = copySeries(st.obs)
+	r.events = append(r.events[:0], st.events...)
+	r.trace = append(r.trace[:0], st.trace...)
+}
+
+// ReplaceHeadEvents swaps the first n recorded events for evs, keeping the
+// rest. Adaptive campaigns use it to re-stamp a cloned recorder's
+// run-identity annotations (written before the checkpoint, for the family
+// representative) with the steered member's own, so the clone is
+// byte-identical to a from-scratch run of that member.
+func (r *Recorder) ReplaceHeadEvents(n int, evs []Event) {
+	if n > len(r.events) {
+		panic("metrics: ReplaceHeadEvents beyond recorded events")
+	}
+	r.events = append(append([]Event(nil), evs...), r.events[n:]...)
+}
+
+// Clone returns an independent deep copy of the recorder. Adaptive campaigns
+// hand clones to result callbacks because the live recorder is about to be
+// rewound for the next continuation.
+func (r *Recorder) Clone() *Recorder {
+	return &Recorder{
+		interval: r.interval,
+		run:      r.run,
+		counters: copySeries(r.counters),
+		gauges:   copySeries(r.gauges),
+		obs:      copySeries(r.obs),
+		events:   append([]Event(nil), r.events...),
+		trace:    append([]simnet.TraceEvent(nil), r.trace...),
+	}
+}

@@ -167,13 +167,16 @@ func NewPrimary(script []Action, observers map[simnet.NodeID]simnet.NodeID) *Pri
 	return &Primary{script: script, observers: observers}
 }
 
-// Start implements simnet.Handler; it schedules every scripted action.
+// Start implements simnet.Handler; it schedules every scripted action. Each
+// scheduled event captures its index and reads the script at fire time, so a
+// forked continuation steered onto a sibling schedule via SetScript executes
+// the replacement actions.
 func (p *Primary) Start(ctx *simnet.Context) {
 	p.ctx = ctx
-	for _, act := range p.script {
-		act := act
-		delay := act.At - ctx.Now()
-		ctx.After(delay, func() { p.execute(act) })
+	for i := range p.script {
+		i := i
+		delay := p.script[i].At - ctx.Now()
+		ctx.After(delay, func() { p.execute(p.script[i]) })
 	}
 }
 

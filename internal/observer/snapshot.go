@@ -1,0 +1,99 @@
+package observer
+
+import (
+	"stabl/internal/simnet"
+	"stabl/internal/snapshot"
+)
+
+// observerState is an Observer checkpoint.
+type observerState struct {
+	ctx    *simnet.Context
+	rule   int
+	hasRul bool
+	log    []string
+}
+
+var _ snapshot.Forkable = (*Observer)(nil)
+
+// Snapshot captures the observer's installed-rule handle and action log.
+func (o *Observer) Snapshot() snapshot.State {
+	return &observerState{
+		ctx:    o.ctx,
+		rule:   o.rule,
+		hasRul: o.hasRul,
+		log:    append([]string(nil), o.log...),
+	}
+}
+
+// Restore rewinds the observer to a state captured by Snapshot.
+func (o *Observer) Restore(state snapshot.State) {
+	st, ok := state.(*observerState)
+	if !ok {
+		panic("observer: Observer.Restore on foreign state")
+	}
+	o.ctx = st.ctx
+	o.rule = st.rule
+	o.hasRul = st.hasRul
+	o.log = append(o.log[:0], st.log...)
+}
+
+// primaryState is a Primary checkpoint. The script itself is captured so a
+// restored run can be re-pointed at a sibling script (see SetScript) without
+// the previous continuation's mutations leaking through.
+type primaryState struct {
+	ctx      *simnet.Context
+	script   []Action
+	acks     int
+	executed int
+}
+
+var _ snapshot.Forkable = (*Primary)(nil)
+
+// Snapshot captures the primary: its script contents and progress counters.
+func (p *Primary) Snapshot() snapshot.State {
+	return &primaryState{
+		ctx:      p.ctx,
+		script:   append([]Action(nil), p.script...),
+		acks:     p.acks,
+		executed: p.executed,
+	}
+}
+
+// Restore rewinds the primary to a state captured by Snapshot.
+func (p *Primary) Restore(state snapshot.State) {
+	st, ok := state.(*primaryState)
+	if !ok {
+		panic("observer: Primary.Restore on foreign state")
+	}
+	if len(st.script) != len(p.script) {
+		panic("observer: Primary.Restore script length mismatch")
+	}
+	p.ctx = st.ctx
+	copy(p.script, st.script)
+	p.acks = st.acks
+	p.executed = st.executed
+}
+
+// SetScript replaces the primary's script contents in place. The scheduled
+// signal events read the script at fire time, so actions not yet executed
+// take the new contents — this is how a forked continuation is steered onto
+// a sibling fault schedule. The replacement must be shape-compatible with
+// the original: same number of actions at the same instants (only
+// magnitudes and node sets may differ), so a forked run schedules exactly
+// the events a from-scratch run of the new script would.
+func (p *Primary) SetScript(script []Action) {
+	if len(script) != len(p.script) {
+		panic("observer: SetScript with different action count")
+	}
+	for i := range script {
+		if script[i].At != p.script[i].At {
+			panic("observer: SetScript with shifted action instants")
+		}
+	}
+	copy(p.script, script)
+}
+
+// Script returns a copy of the primary's current script.
+func (p *Primary) Script() []Action {
+	return append([]Action(nil), p.script...)
+}

@@ -1,0 +1,205 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"stabl/internal/scenario"
+)
+
+// FailFunc reports whether a candidate scenario spec still fails. Shrink
+// only keeps mutations whose candidate fails, so the returned spec is always
+// a witnessed failure.
+type FailFunc func(spec scenario.Spec) (bool, error)
+
+// ShrinkResult is the outcome of a scenario minimization.
+type ShrinkResult struct {
+	// Spec is the minimal failing spec found.
+	Spec scenario.Spec `json:"spec"`
+	// Probes counts the candidate runs evaluated (including the initial
+	// failure check).
+	Probes int `json:"probes"`
+	// DroppedActions is how many timeline actions the minimization
+	// removed; ShortenedSec how much total action-window time it cut;
+	// ShrunkNodes how many node-set members it removed.
+	DroppedActions int     `json:"droppedActions"`
+	ShortenedSec   float64 `json:"shortenedSec"`
+	ShrunkNodes    int     `json:"shrunkNodes"`
+}
+
+// Shrink minimizes a failing scenario, delta-debugging style: it drops whole
+// actions, shrinks node sets and shortens action windows, keeping each
+// mutation only when the smaller spec still fails. pool is the size of the
+// fault-eligible node pool (validators minus clients) that "all" and
+// "random(k)" draw from. The result is a locally minimal failing spec: no
+// single remaining action can be dropped, and each surviving action's node
+// count and window are at their bisection-resolved minimum.
+func Shrink(spec scenario.Spec, pool int, fails FailFunc) (*ShrinkResult, error) {
+	res := &ShrinkResult{}
+	eval := func(s scenario.Spec) (bool, error) {
+		if _, err := s.Build(); err != nil {
+			// An invalid mutation is simply not a candidate.
+			return false, nil
+		}
+		res.Probes++
+		return fails(s)
+	}
+
+	ok, err := eval(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("search: scenario %q does not fail, nothing to shrink", spec.Name)
+	}
+
+	// Phase 1: drop whole actions to a fixpoint. First-to-last order keeps
+	// the result deterministic.
+	cur := cloneSpec(spec)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Actions); i++ {
+			cand := cloneSpec(cur)
+			cand.Actions = append(cand.Actions[:i], cand.Actions[i+1:]...)
+			fail, err := eval(cand)
+			if err != nil {
+				return nil, err
+			}
+			if fail {
+				cur = cand
+				res.DroppedActions++
+				changed = true
+				i--
+			}
+		}
+	}
+
+	// Phase 2: shrink each action's node set. "all" and "random(k)" shrink
+	// to the minimal failing random(j); explicit lists drop members from
+	// the tail. Monotonicity (more nodes ≥ more severe) makes this a
+	// bisection.
+	for i := range cur.Actions {
+		size, ok := nodeSetSize(cur.Actions[i].Nodes, pool)
+		if !ok || size <= 1 {
+			continue
+		}
+		minFail, probed, err := minimalNodes(cur, i, size, eval)
+		if err != nil {
+			return nil, err
+		}
+		if probed && minFail < size {
+			cur.Actions[i].Nodes = shrunkNodes(cur.Actions[i].Nodes, minFail)
+			res.ShrunkNodes += size - minFail
+		}
+	}
+
+	// Phase 3: shorten each action's window by bisecting the minimal
+	// failing duration, at whole-second resolution.
+	for i := range cur.Actions {
+		a := cur.Actions[i]
+		if a.UntilSec <= a.AtSec {
+			continue
+		}
+		full := a.UntilSec - a.AtSec
+		lo, hi := 0.0, full // invariant: hi fails (witnessed), lo untested/passing
+		for hi-lo > 1 {
+			mid := math.Floor(lo + (hi-lo)/2)
+			if mid <= lo || mid >= hi {
+				break
+			}
+			cand := cloneSpec(cur)
+			cand.Actions[i].UntilSec = a.AtSec + mid
+			fail, err := eval(cand)
+			if err != nil {
+				return nil, err
+			}
+			if fail {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		if hi < full {
+			cur.Actions[i].UntilSec = a.AtSec + hi
+			res.ShortenedSec += full - hi
+		}
+	}
+
+	res.Spec = cur
+	return res, nil
+}
+
+// minimalNodes bisects the smallest failing node count for action i,
+// assuming counts ≥ the original are failing. probed is false when the
+// selector grammar cannot express a shrunken set.
+func minimalNodes(spec scenario.Spec, i, size int, eval func(scenario.Spec) (bool, error)) (int, bool, error) {
+	if shrunkNodes(spec.Actions[i].Nodes, 1) == "" {
+		return size, false, nil
+	}
+	lo, hi := 0, size // invariant: hi fails (the current spec), lo passes/untested
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		cand := cloneSpec(spec)
+		cand.Actions[i].Nodes = shrunkNodes(cand.Actions[i].Nodes, mid)
+		fail, err := eval(cand)
+		if err != nil {
+			return 0, false, err
+		}
+		if fail {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// nodeSetSize resolves how many nodes the selector targets, given the
+// fault-eligible pool size. Rolling sets are not shrunk (their size is a
+// group size, not a severity).
+func nodeSetSize(sel string, pool int) (int, bool) {
+	ns, err := scenario.ParseNodeSet(sel)
+	if err != nil || ns.Rolling() {
+		return 0, false
+	}
+	s := strings.TrimSpace(sel)
+	switch {
+	case s == "all":
+		if pool < 1 {
+			return 0, false
+		}
+		return pool, true
+	case strings.HasPrefix(s, "random("):
+		var k int
+		fmt.Sscanf(s, "random(%d)", &k)
+		return k, k > 0
+	default:
+		return len(strings.Split(s, ",")), true
+	}
+}
+
+// shrunkNodes rewrites the selector to target k nodes: random sets (and
+// "all") become random(k), explicit lists keep their first k ids. Returns ""
+// when the selector cannot shrink.
+func shrunkNodes(sel string, k int) string {
+	s := strings.TrimSpace(sel)
+	switch {
+	case s == "all" || strings.HasPrefix(s, "random("):
+		return fmt.Sprintf("random(%d)", k)
+	case strings.HasPrefix(s, "rolling("):
+		return ""
+	default:
+		ids := strings.Split(s, ",")
+		if k >= len(ids) {
+			return s
+		}
+		return strings.Join(ids[:k], ",")
+	}
+}
+
+func cloneSpec(s scenario.Spec) scenario.Spec {
+	out := s
+	out.Actions = append([]scenario.ActionSpec(nil), s.Actions...)
+	return out
+}

@@ -37,6 +37,13 @@ type Scheduler struct {
 	fired    uint64
 	halted   bool
 	rngSeeds map[string]int64 // memoized RNG stream derivations
+
+	// Checkpoint registries (see Snapshot): every RNG stream and ticker
+	// ever issued, in creation order. Creation is deterministic, so a
+	// forked continuation and the from-scratch run it mirrors build
+	// identical registries.
+	sources []*countingSource
+	tickers []*Ticker
 }
 
 // heapEntry is a queued occurrence: the (at, seq) ordering key plus a
@@ -191,8 +198,21 @@ func (s *Scheduler) Halted() bool { return s.halted }
 // consumer does not perturb existing ones. Every call returns a fresh stream
 // positioned at its start — restarted nodes re-deriving a stream replay it
 // from the beginning, which the determinism of restarts depends on.
+//
+// The stream is registered with the scheduler so Snapshot/Restore can rewind
+// it: the returned *rand.Rand draws from a position-counting wrapper whose
+// output is bit-identical to rand.New(rand.NewSource(seed)).
 func (s *Scheduler) RNG(name string) *rand.Rand {
-	return rand.New(rand.NewSource(s.RNGSeed(name)))
+	return s.RNGFromSeed(s.RNGSeed(name))
+}
+
+// RNGFromSeed returns a fresh registered stream for an already-derived seed
+// (see RNGSeed). Callers that memoize derivations (simnet.Context) use it so
+// their streams still participate in Snapshot/Restore.
+func (s *Scheduler) RNGFromSeed(seed int64) *rand.Rand {
+	src := newCountingSource(seed)
+	s.sources = append(s.sources, src)
+	return rand.New(src)
 }
 
 // RNGSeed returns the derived seed behind RNG(name). The derivation (an FNV

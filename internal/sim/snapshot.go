@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"stabl/internal/snapshot"
+)
+
+// countingSource wraps the stdlib math/rand source with a draw counter. Its
+// output is bit-identical to rand.NewSource(seed) — it delegates every draw —
+// but the position counter makes the stream checkpointable: rngSource.Int63
+// is one Uint64 state step, so the (seed, draws) pair fully determines the
+// generator state and rewind() reproduces it by fast-forwarding a fresh
+// source. This keeps every committed golden valid: no RNG algorithm changed,
+// only the bookkeeping around it.
+type countingSource struct {
+	seed  int64
+	inner rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{seed: seed, inner: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.inner.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.inner.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.seed = seed
+	c.draws = 0
+	c.inner.Seed(seed)
+}
+
+// rewind repositions the stream at exactly `draws` draws from its seed.
+func (c *countingSource) rewind(draws uint64) {
+	if draws == c.draws {
+		return
+	}
+	src := rand.NewSource(c.seed).(rand.Source64)
+	for i := uint64(0); i < draws; i++ {
+		src.Uint64()
+	}
+	c.inner = src
+	c.draws = draws
+}
+
+// tickerState is one registered ticker's mutable state. The Ticker object
+// itself is identity-preserved: its bound fire closure sits in snapshotted
+// event slots, so Restore writes these fields back through the original
+// pointer instead of replacing it.
+type tickerState struct {
+	interval time.Duration
+	timer    Timer
+	stopped  bool
+}
+
+// schedState is the Scheduler's checkpoint. Everything is copied by value;
+// the fn pointers inside the copied slots are the closures queued at
+// checkpoint time, which restore-in-place keeps valid (see package
+// snapshot).
+type schedState struct {
+	now    time.Duration
+	heap   []heapEntry
+	slots  []eventSlot
+	free   int32
+	seq    uint64
+	fired  uint64
+	halted bool
+	// Registry prefixes: lengths at checkpoint time plus per-entry state.
+	// Entries created after the checkpoint belong to objects the restore
+	// abandons, so truncation is exact.
+	sources []uint64
+	tickers []tickerState
+}
+
+// Snapshot captures the scheduler: clock, event queue, slot arena, sequence
+// counters and the RNG/ticker registries. The heap and arena are copied
+// entry-by-entry (value types), so a checkpoint of a steady-state experiment
+// costs two slice copies plus two small registry walks.
+func (s *Scheduler) Snapshot() snapshot.State {
+	st := &schedState{
+		now:     s.now,
+		heap:    append([]heapEntry(nil), s.heap...),
+		slots:   append([]eventSlot(nil), s.slots...),
+		free:    s.free,
+		seq:     s.seq,
+		fired:   s.fired,
+		halted:  s.halted,
+		sources: make([]uint64, len(s.sources)),
+		tickers: make([]tickerState, len(s.tickers)),
+	}
+	for i, src := range s.sources {
+		st.sources[i] = src.draws
+	}
+	for i, t := range s.tickers {
+		st.tickers[i] = tickerState{interval: t.interval, timer: t.timer, stopped: t.stopped}
+	}
+	return st
+}
+
+// Restore rewinds the scheduler to a state captured by Snapshot. Queue and
+// arena contents are written back in place (slots allocated since the
+// checkpoint are dropped), every registered RNG stream is repositioned at
+// its checkpoint draw count, and tickers recover their checkpoint timers.
+func (s *Scheduler) Restore(state snapshot.State) {
+	st, ok := state.(*schedState)
+	if !ok {
+		panic("sim: Scheduler.Restore on foreign state")
+	}
+	s.now = st.now
+	s.heap = append(s.heap[:0], st.heap...)
+	s.slots = append(s.slots[:0], st.slots...)
+	s.free = st.free
+	s.seq = st.seq
+	s.fired = st.fired
+	s.halted = st.halted
+	if len(st.sources) > len(s.sources) || len(st.tickers) > len(s.tickers) {
+		panic("sim: Scheduler.Restore state from a different scheduler history")
+	}
+	s.sources = s.sources[:len(st.sources)]
+	for i, src := range s.sources {
+		src.rewind(st.sources[i])
+	}
+	s.tickers = s.tickers[:len(st.tickers)]
+	for i, t := range s.tickers {
+		t.interval = st.tickers[i].interval
+		t.timer = st.tickers[i].timer
+		t.stopped = st.tickers[i].stopped
+	}
+}

@@ -32,6 +32,9 @@ func NewTicker(sched *Scheduler, interval time.Duration, fn func()) *Ticker {
 		}
 	}
 	t.arm()
+	// Register for Snapshot/Restore: a ticker stopped or re-armed by one
+	// forked continuation must rewind for the next (see snapshot.go).
+	sched.tickers = append(sched.tickers, t)
 	return t
 }
 

@@ -134,6 +134,10 @@ type Network struct {
 	// freeDeliveries pools delivery events so a message in steady state
 	// schedules no new closure.
 	freeDeliveries *delivery
+	// deliveries registers every pooled delivery ever allocated, in
+	// creation order, so Snapshot/Restore can rewind in-flight messages
+	// and rebuild the free list (see snapshot.go).
+	deliveries []*delivery
 }
 
 type endpoint struct {
@@ -433,6 +437,7 @@ func (n *Network) newDelivery() *delivery {
 	if d == nil {
 		d = &delivery{n: n}
 		d.run = d.fire
+		n.deliveries = append(n.deliveries, d)
 	} else {
 		n.freeDeliveries = d.next
 		d.next = nil
@@ -606,15 +611,17 @@ func (c *Context) Every(interval time.Duration, fn func()) *sim.Ticker {
 // sim.Scheduler.RNG, every call returns a fresh stream positioned at its
 // start; the derivation is memoized per name.
 func (c *Context) RNG(name string) *rand.Rand {
-	if d, ok := c.rngSeeds[name]; ok {
-		return rand.New(rand.NewSource(d))
+	d, ok := c.rngSeeds[name]
+	if !ok {
+		d = c.net.sched.RNGSeed(fmt.Sprintf("node/%d/%s", int(c.ep.id), name))
+		if c.rngSeeds == nil {
+			c.rngSeeds = make(map[string]int64)
+		}
+		c.rngSeeds[name] = d
 	}
-	d := c.net.sched.RNGSeed(fmt.Sprintf("node/%d/%s", int(c.ep.id), name))
-	if c.rngSeeds == nil {
-		c.rngSeeds = make(map[string]int64)
-	}
-	c.rngSeeds[name] = d
-	return rand.New(rand.NewSource(d))
+	// Issue through the scheduler so the stream registers for
+	// Snapshot/Restore; the contents are identical to rand.NewSource(d).
+	return c.net.sched.RNGFromSeed(d)
 }
 
 // Connected reports whether the connection layer currently allows traffic

@@ -72,3 +72,21 @@ func (b *TokenBucket) Available(now time.Duration) float64 {
 	b.refill(now)
 	return b.balance
 }
+
+// BucketState is a TokenBucket checkpoint (see package snapshot); owners
+// embed it in their own snapshot states.
+type BucketState struct {
+	balance  float64
+	lastFill time.Duration
+}
+
+// SnapshotState captures the bucket's mutable state.
+func (b *TokenBucket) SnapshotState() BucketState {
+	return BucketState{balance: b.balance, lastFill: b.lastFill}
+}
+
+// RestoreState rewinds the bucket to a captured state.
+func (b *TokenBucket) RestoreState(st BucketState) {
+	b.balance = st.balance
+	b.lastFill = st.lastFill
+}

@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"time"
+
+	"stabl/internal/sim"
+	"stabl/internal/snapshot"
+)
+
+// epState is one endpoint's mutable state. The endpoint object (and its
+// Context) is identity-preserved: queued delivery and timer closures hold
+// the pointer, so Restore writes through it.
+type epState struct {
+	up          bool
+	connPeer    bool
+	incarnation uint64
+}
+
+// deliveryState rewinds one pooled delivery. dst and next are pointers into
+// the identity-preserved endpoint table and delivery registry.
+type deliveryState struct {
+	dst     *endpoint
+	from    NodeID
+	payload any
+	inc     uint64
+	control bool
+	next    *delivery
+}
+
+// pairConnState is one managed connection pair's state; the pairState object
+// is identity-preserved (retry/ack closures capture it).
+type pairConnState struct {
+	established bool
+	lastRecvA   time.Duration
+	lastRecvB   time.Duration
+	attempt     int
+	epoch       uint64
+	retryTimer  sim.Timer
+	ackTimer    sim.Timer
+}
+
+type netState struct {
+	stats        Stats
+	rules        map[int]partitionRule
+	ruleSeq      int
+	blockedPairs map[pairKey]int
+	eps          []epState
+	extraDelay   []time.Duration
+	extraDelayed int
+	lossRate     []float64
+	lossyIfaces  int
+	jitterBound  []time.Duration
+	jitterIfaces int
+	deliveries   []deliveryState
+	freeHead     *delivery
+	// Connection layer (nil when unmanaged).
+	pairs   []pairConnState // in cm.order order
+	downs   uint64
+	reconns uint64
+}
+
+// Snapshot captures the network: endpoint liveness and incarnations,
+// partition rules and blocked-pair counts, per-interface degradation tables,
+// every pooled delivery (in-flight or free) and the connection layer's pair
+// states. The node table, contexts, handlers and registries are
+// identity-preserved; the scheduler owns the RNG streams (simnet's latency,
+// loss and jitter streams register there).
+func (n *Network) Snapshot() snapshot.State {
+	st := &netState{
+		stats:        n.stats,
+		rules:        make(map[int]partitionRule, len(n.rules)),
+		ruleSeq:      n.ruleSeq,
+		blockedPairs: make(map[pairKey]int, len(n.blockedPairs)),
+		eps:          make([]epState, len(n.nodes)),
+		extraDelay:   append([]time.Duration(nil), n.extraDelay...),
+		extraDelayed: n.extraDelayed,
+		lossRate:     append([]float64(nil), n.lossRate...),
+		lossyIfaces:  n.lossyIfaces,
+		jitterBound:  append([]time.Duration(nil), n.jitterBound...),
+		jitterIfaces: n.jitterIfaces,
+		deliveries:   make([]deliveryState, len(n.deliveries)),
+		freeHead:     n.freeDeliveries,
+	}
+	for id, r := range n.rules {
+		st.rules[id] = r // rule pair lists are immutable after Partition
+	}
+	for k, c := range n.blockedPairs {
+		st.blockedPairs[k] = c
+	}
+	for i, ep := range n.nodes {
+		if ep != nil {
+			st.eps[i] = epState{up: ep.up, connPeer: ep.connPeer, incarnation: ep.incarnation}
+		}
+	}
+	for i, d := range n.deliveries {
+		st.deliveries[i] = deliveryState{
+			dst: d.dst, from: d.from, payload: d.payload,
+			inc: d.inc, control: d.control, next: d.next,
+		}
+	}
+	if cm := n.conns; cm != nil {
+		st.downs = cm.downs
+		st.reconns = cm.reconns
+		st.pairs = make([]pairConnState, len(cm.order))
+		for i, k := range cm.order {
+			p := cm.pairs[k]
+			st.pairs[i] = pairConnState{
+				established: p.established,
+				lastRecvA:   p.lastRecvA, lastRecvB: p.lastRecvB,
+				attempt: p.attempt, epoch: p.epoch,
+				retryTimer: p.retryTimer, ackTimer: p.ackTimer,
+			}
+		}
+	}
+	return st
+}
+
+// Restore rewinds the network to a state captured by Snapshot. Deliveries
+// allocated since the checkpoint drop out of the registry: only closures
+// restored with the scheduler heap can reference them, and those predate the
+// checkpoint too.
+func (n *Network) Restore(state snapshot.State) {
+	st, ok := state.(*netState)
+	if !ok {
+		panic("simnet: Network.Restore on foreign state")
+	}
+	n.stats = st.stats
+	n.ruleSeq = st.ruleSeq
+	clear(n.rules)
+	for id, r := range st.rules {
+		n.rules[id] = r
+	}
+	clear(n.blockedPairs)
+	for k, c := range st.blockedPairs {
+		n.blockedPairs[k] = c
+	}
+	if len(st.eps) != len(n.nodes) {
+		panic("simnet: Network.Restore state from a different deployment")
+	}
+	for i, ep := range n.nodes {
+		if ep != nil {
+			ep.up = st.eps[i].up
+			ep.connPeer = st.eps[i].connPeer
+			ep.incarnation = st.eps[i].incarnation
+		}
+	}
+	n.extraDelay = append(n.extraDelay[:0], st.extraDelay...)
+	n.extraDelayed = st.extraDelayed
+	n.lossRate = append(n.lossRate[:0], st.lossRate...)
+	n.lossyIfaces = st.lossyIfaces
+	n.jitterBound = append(n.jitterBound[:0], st.jitterBound...)
+	n.jitterIfaces = st.jitterIfaces
+	if len(st.deliveries) > len(n.deliveries) {
+		panic("simnet: Network.Restore state from a different network history")
+	}
+	n.deliveries = n.deliveries[:len(st.deliveries)]
+	for i, d := range n.deliveries {
+		ds := st.deliveries[i]
+		d.dst = ds.dst
+		d.from = ds.from
+		d.payload = ds.payload
+		d.inc = ds.inc
+		d.control = ds.control
+		d.next = ds.next
+	}
+	n.freeDeliveries = st.freeHead
+	if cm := n.conns; cm != nil {
+		cm.downs = st.downs
+		cm.reconns = st.reconns
+		for i, k := range cm.order {
+			p := cm.pairs[k]
+			p.established = st.pairs[i].established
+			p.lastRecvA = st.pairs[i].lastRecvA
+			p.lastRecvB = st.pairs[i].lastRecvB
+			p.attempt = st.pairs[i].attempt
+			p.epoch = st.pairs[i].epoch
+			p.retryTimer = st.pairs[i].retryTimer
+			p.ackTimer = st.pairs[i].ackTimer
+		}
+	}
+}

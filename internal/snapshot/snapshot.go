@@ -1,0 +1,99 @@
+// Package snapshot defines the checkpoint/restore contract that makes STABL
+// runs forkable: every stateful simulation component implements Forkable,
+// and core.Fork composes them into a whole-experiment checkpoint taken at a
+// virtual instant.
+//
+// # Restore-in-place semantics
+//
+// Snapshots are value copies, not serializations. The event scheduler queues
+// closures, which cannot be marshalled; instead, a snapshot deep-copies every
+// piece of mutable state while leaving the object graph itself alone, and
+// Restore writes that state back into the *same* objects. Continuations
+// therefore run sequentially on one live experiment: fork, run continuation
+// A to completion, restore, run continuation B. The queued closures restored
+// with the scheduler heap keep pointing at the same components, which the
+// restore has rewound to their checkpoint-time state.
+//
+// # State ownership rules for implementors
+//
+//   - Snapshot must deep-copy every field the component mutates after the
+//     checkpoint instant: maps, slices that are appended to or written
+//     through, counters, timers. A continuation must not be able to observe
+//     writes made by a sibling continuation.
+//   - Objects captured by scheduled closures (round states, protocol
+//     instances, connection pair states, pooled deliveries, tickers) must be
+//     restored *into the same pointer* — snapshot stores (pointer, copied
+//     contents) pairs and restore writes the contents back through the
+//     pointer. Replacing such an object with a fresh copy would strand the
+//     queued closures on the stale one.
+//   - Immutable data may be shared freely: transaction payloads, block
+//     contents, config structs, and any slice the component only reads are
+//     the same in every continuation by convention (see DESIGN.md
+//     "Immutability of payloads").
+//   - Function literals handed to the scheduler must not mutate captured
+//     outer locals; mutable state belongs in struct fields covered by
+//     Snapshot. A closure-local counter would silently leak one
+//     continuation's progress into the next.
+//   - Registries grow deterministically: components that allocate registered
+//     objects (RNG streams, tickers, pooled deliveries) snapshot the
+//     registry length and truncate on restore, so a continuation recreates
+//     exactly the objects the replay it mirrors would.
+package snapshot
+
+// State is one component's opaque checkpoint. Each Forkable returns its own
+// private state type; callers only carry it back to the same component's
+// Restore.
+type State any
+
+// Forkable is implemented by every simulation component that supports
+// checkpoint/restore. Snapshot captures all mutable state by value; Restore
+// writes a previously captured state back in place. Restore must accept any
+// State produced by the same component's Snapshot (components panic on
+// foreign states — mixing them up is a harness bug, not an input error).
+type Forkable interface {
+	Snapshot() State
+	Restore(State)
+}
+
+// Set composes Forkables into one Forkable: Snapshot captures every part in
+// registration order and Restore rewinds them all. core.Fork uses a Set over
+// the scheduler, network, chain nodes, clients and recorders.
+type Set struct {
+	parts []Forkable
+}
+
+// Add registers parts; order is preserved and only determines snapshot
+// iteration, not correctness (parts restore independently).
+func (s *Set) Add(parts ...Forkable) {
+	s.parts = append(s.parts, parts...)
+}
+
+// Len reports how many parts are registered.
+func (s *Set) Len() int { return len(s.parts) }
+
+type setState []State
+
+// Snapshot captures every registered part.
+func (s *Set) Snapshot() State {
+	states := make(setState, len(s.parts))
+	for i, p := range s.parts {
+		states[i] = p.Snapshot()
+	}
+	return states
+}
+
+// Restore rewinds every registered part. It panics when st did not come from
+// this Set (or the Set grew since — forks must not register parts after the
+// checkpoint).
+func (s *Set) Restore(st State) {
+	states, ok := st.(setState)
+	if !ok {
+		panic("snapshot: Set.Restore on foreign state")
+	}
+	if len(states) != len(s.parts) {
+		panic("snapshot: Set changed size since Snapshot")
+	}
+	for i, p := range s.parts {
+		p.Restore(states[i])
+	}
+}

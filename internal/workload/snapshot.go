@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"stabl/internal/chain"
+	"stabl/internal/snapshot"
+)
+
+// genState is a Generator checkpoint. The RNG stream position lives in the
+// scheduler (the *rand.Rand handed to NewGenerator is registered there), so
+// only the nonce chains and the sequence counter are captured here.
+type genState struct {
+	nonces map[chain.Address]uint64
+	seq    uint32
+}
+
+var _ snapshot.Forkable = (*Generator)(nil)
+
+// Snapshot captures the generator's nonce chains and sequence counter.
+func (g *Generator) Snapshot() snapshot.State {
+	st := &genState{
+		nonces: make(map[chain.Address]uint64, len(g.nonces)),
+		seq:    g.seq,
+	}
+	for a, n := range g.nonces {
+		st.nonces[a] = n
+	}
+	return st
+}
+
+// Restore rewinds the generator to a state captured by Snapshot.
+func (g *Generator) Restore(state snapshot.State) {
+	st, ok := state.(*genState)
+	if !ok {
+		panic("workload: Generator.Restore on foreign state")
+	}
+	g.nonces = make(map[chain.Address]uint64, len(st.nonces))
+	for a, n := range st.nonces {
+		g.nonces[a] = n
+	}
+	g.seq = st.seq
+}

@@ -41,6 +41,7 @@ import (
 	"stabl/internal/metrics"
 	"stabl/internal/redbelly"
 	"stabl/internal/scenario"
+	"stabl/internal/search"
 	"stabl/internal/solana"
 	"stabl/internal/stats"
 	"stabl/internal/workload"
@@ -127,6 +128,10 @@ type (
 	CampaignCell = campaign.CellResult
 	// CampaignPoint aggregates one fault-space coordinate across seeds.
 	CampaignPoint = campaign.Point
+	// CampaignCheckpointStats reports how many cells an adaptive campaign
+	// (spec mode "adaptive") served from forked checkpoints instead of
+	// full replays.
+	CampaignCheckpointStats = campaign.CheckpointStats
 )
 
 // RunCampaign expands the spec into its fault-space grid and executes every
@@ -142,6 +147,36 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (
 
 // ParseCampaignSpec reads a JSON campaign spec (see specs/campaign-*.json).
 func ParseCampaignSpec(r io.Reader) (CampaignSpec, error) { return campaign.ParseSpec(r) }
+
+// Tolerance-boundary search types. See the internal/search package for the
+// bisection invariants and the scenario-shrinking (delta debugging) rules.
+type (
+	// SearchOptions configure a boundary search: the experiment template,
+	// the swept axis and the failure criterion.
+	SearchOptions = search.Options
+	// SearchAxis is the swept scalar dimension (count, slowby seconds or
+	// scenario intensity) with its range and resolution.
+	SearchAxis = search.Axis
+	// SearchResult is the outcome: the pass/fail bracket, every probe and
+	// optionally the shrunken minimal failing scenario.
+	SearchResult = search.Result
+	// ShrinkResult is a minimal failing scenario with shrink statistics.
+	ShrinkResult = search.ShrinkResult
+)
+
+// Search axis names for SearchOptions.Axis.Name.
+const (
+	SearchAxisCount     = search.AxisCount
+	SearchAxisSlowBy    = search.AxisSlowBy
+	SearchAxisIntensity = search.AxisIntensity
+)
+
+// RunSearch bisects the axis to the tolerance boundary of one system: the
+// largest value that still passes and the smallest that fails (liveness loss,
+// or a sensitivity score at or above SearchOptions.Threshold). With
+// SearchOptions.Shrink it additionally delta-debugs the failing scenario down
+// to a minimal spec that still fails.
+func RunSearch(opts SearchOptions) (*SearchResult, error) { return search.Run(opts) }
 
 // Virtual-time instrumentation types. See the internal/metrics package for
 // the determinism and single-run guarantees.
