@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify verify-race specs lint bench bench-smoke figures clean
+.PHONY: all build vet test race verify verify-race specs lint bench bench-smoke bench-scale figures clean
 
 all: verify
 
@@ -67,6 +67,14 @@ bench:
 bench-smoke:
 	$(GO) test -race -short -run='^$$' -bench=. -benchtime=1x -timeout 20m \
 		. ./internal/sim ./internal/simnet
+
+# bench-scale regenerates the committed scale-suite report: committee-mode
+# Algorand at 512, 2048 and 10240 validators driven by flow-aggregated
+# workloads, plus a committee-size sweep at fixed size (see
+# internal/kernelbench/scale.go). SCALE_FLAGS=-scale-short caps the suite
+# at 512 validators for smoke runs; the committed report uses the default.
+bench-scale:
+	$(GO) run ./cmd/stabl bench -scale-out BENCH_scale.json $(SCALE_FLAGS)
 
 # figures regenerates every SVG artifact of the paper into ./out.
 figures:

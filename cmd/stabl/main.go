@@ -74,6 +74,10 @@ func run(args []string, out io.Writer) error {
 		validators = fs.Int("validators", 10, "number of blockchain nodes")
 		clients    = fs.Int("clients", 5, "number of load clients")
 		rate       = fs.Float64("rate", 40, "per-client send rate (tx/s)")
+		committee  = fs.Int("committee", 0, "sortition committee size on systems that support it (Algorand); 0 = classic full-quorum mode")
+		flows      = fs.Int("flows", 0, "aggregate the client population into this many flow generators (0 = one event loop per client)")
+		flowAccts  = fs.Int("flow-accounts", 0, "modeled accounts per flow generator (0 = library default; only with -flows)")
+		noConn     = fs.Bool("no-conn", false, "skip the O(clients*validators) managed connection layer (recommended for runs past ~100 validators)")
 		system     = fs.String("system", "Redbelly", "system for the run command")
 		fault      = fs.String("fault", "none", "fault for the run command: none|crash|transient|partition|secure-client|slow")
 		scenName   = fs.String("scenario", "", "canned scenario name for the scenario command (see `stabl scenario -list`)")
@@ -92,16 +96,18 @@ func run(args []string, out io.Writer) error {
 		metricsDir      = fs.String("metrics-dir", "", "write per-cell metrics dumps and timelines into this directory (campaign command)")
 		metricsInterval = fs.Duration("metrics-interval", 5*time.Second, "aggregation interval for -metrics-out and -metrics-dir")
 
-		axisName   = fs.String("axis", "count", "search command: swept axis: count|slowby|intensity")
-		axisLo     = fs.Float64("lo", 1, "search command: low end of the searched range (expected to pass)")
-		axisHi     = fs.Float64("hi", 5, "search command: high end of the searched range")
-		axisRes    = fs.Float64("resolution", 0, "search command: bracket resolution for non-integer axes (0 = range/64)")
-		threshold  = fs.Float64("threshold", 0, "search command: a finite score at or above this also fails (0 = only liveness loss)")
-		shrink     = fs.Bool("shrink", false, "search command: delta-debug the failing scenario at the boundary to a minimal spec (intensity axis)")
+		axisName  = fs.String("axis", "count", "search command: swept axis: count|slowby|intensity")
+		axisLo    = fs.Float64("lo", 1, "search command: low end of the searched range (expected to pass)")
+		axisHi    = fs.Float64("hi", 5, "search command: high end of the searched range")
+		axisRes   = fs.Float64("resolution", 0, "search command: bracket resolution for non-integer axes (0 = range/64)")
+		threshold = fs.Float64("threshold", 0, "search command: a finite score at or above this also fails (0 = only liveness loss)")
+		shrink    = fs.Bool("shrink", false, "search command: delta-debug the failing scenario at the boundary to a minimal spec (intensity axis)")
 
 		benchOut   = fs.String("bench-out", "BENCH_kernel.json", "report file for the bench command")
 		forkOut    = fs.String("fork-out", "BENCH_fork.json", "fork-vs-replay report file for the bench command")
 		benchFull  = fs.Bool("bench-full", false, "bench command: also replay the Fig 7 matrix (40 runs; slow)")
+		scaleOut   = fs.String("scale-out", "", "bench command: run only the scale suite (committee-mode Algorand at 512-10240 validators with flow workloads) and write its report to this file")
+		scaleShort = fs.Bool("scale-short", false, "bench command: cap the scale suite at 512 validators (smoke runs)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile to this file when the command finishes")
 	)
@@ -156,12 +162,16 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := stabl.Config{
-		Seed:          *seed,
-		Duration:      *duration,
-		Validators:    *validators,
-		Clients:       *clients,
-		RatePerClient: *rate,
-		Fault:         stabl.FaultPlan{InjectAt: *inject, RecoverAt: *recover},
+		Seed:             *seed,
+		Duration:         *duration,
+		Validators:       *validators,
+		Clients:          *clients,
+		RatePerClient:    *rate,
+		CommitteeSize:    *committee,
+		Flows:            *flows,
+		FlowAccounts:     *flowAccts,
+		DisableConnLayer: *noConn,
+		Fault:            stabl.FaultPlan{InjectAt: *inject, RecoverAt: *recover},
 	}
 
 	switch cmd := command; cmd {
@@ -350,6 +360,34 @@ func run(args []string, out io.Writer) error {
 		}
 		return res.WriteText(out)
 	case "bench":
+		if *scaleOut != "" {
+			// The scale suite replaces the figure/micro/fork suites: its
+			// 10k-validator cells are a different cost regime and get
+			// their own committed report.
+			sf, err := os.Create(*scaleOut)
+			if err != nil {
+				return err
+			}
+			scaleRep, err := kernelbench.RunScale(kernelbench.Options{
+				Short:    *scaleShort,
+				Progress: func(name string) { fmt.Fprintln(os.Stderr, "bench:", name) },
+			})
+			if err != nil {
+				sf.Close()
+				return err
+			}
+			if err := scaleRep.WriteJSON(sf); err != nil {
+				sf.Close()
+				return err
+			}
+			if err := sf.Close(); err != nil {
+				return err
+			}
+			if *jsonOut {
+				return scaleRep.WriteJSON(out)
+			}
+			return scaleRep.WriteText(out)
+		}
 		// Create the report file first so a bad path fails in
 		// milliseconds, not after minutes of benchmarking.
 		f, err := os.Create(*benchOut)

@@ -1,0 +1,165 @@
+package stabl
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestFlowMatchesPerClientWorkload pins the flow-aggregation equivalence
+// contract: one flow modeling n clients produces the same transaction ids at
+// the same instants to the same endpoints as n individual clients, so the
+// chain-side commit stream and the client-observed latency multiset must be
+// identical. Scheduler event counts are NOT compared — one ticker replaces n
+// tickers, which is exactly the point.
+func TestFlowMatchesPerClientWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow equivalence skipped in -short mode")
+	}
+	base := Config{
+		System:        NewRedbelly(),
+		Seed:          42,
+		Validators:    10,
+		Clients:       5,
+		RatePerClient: 20,
+		RetryAfter:    5 * time.Second,
+		Duration:      60 * time.Second,
+	}
+	classic, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowCfg := base
+	flowCfg.Flows = 1
+	flow, err := Run(flowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if flow.Submitted != classic.Submitted {
+		t.Errorf("submitted = %d, classic %d", flow.Submitted, classic.Submitted)
+	}
+	if flow.UniqueCommits != classic.UniqueCommits {
+		t.Errorf("commits = %d, classic %d", flow.UniqueCommits, classic.UniqueCommits)
+	}
+	if flow.Pending != classic.Pending {
+		t.Errorf("pending = %d, classic %d", flow.Pending, classic.Pending)
+	}
+	if flow.LastCommitAt != classic.LastCommitAt {
+		t.Errorf("last commit = %v, classic %v", flow.LastCommitAt, classic.LastCommitAt)
+	}
+	if !reflect.DeepEqual(flow.Throughput, classic.Throughput) {
+		t.Errorf("chain-side throughput series diverged")
+	}
+	// Latency collection order differs (per-client concatenation vs one
+	// completion-ordered list); the multiset must match exactly.
+	fl := append([]float64(nil), flow.Latencies...)
+	cl := append([]float64(nil), classic.Latencies...)
+	sort.Float64s(fl)
+	sort.Float64s(cl)
+	if !reflect.DeepEqual(fl, cl) {
+		t.Errorf("latency multisets diverged: %d vs %d samples", len(fl), len(cl))
+	}
+}
+
+// TestFlowEquivalenceAcrossSystems repeats the equivalence check on every
+// chain model with a shorter horizon: the contract is workload-side and must
+// hold regardless of the consensus protocol behind the endpoints.
+func TestFlowEquivalenceAcrossSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-system flow equivalence skipped in -short mode")
+	}
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys.Name(), func(t *testing.T) {
+			base := Config{
+				System:        sys,
+				Seed:          7,
+				Validators:    10,
+				Clients:       4,
+				RatePerClient: 10,
+				Duration:      30 * time.Second,
+			}
+			classic, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flowCfg := base
+			flowCfg.Flows = 1
+			flow, err := Run(flowCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flow.Submitted != classic.Submitted || flow.UniqueCommits != classic.UniqueCommits {
+				t.Fatalf("flow run = %d submitted / %d commits, classic %d / %d",
+					flow.Submitted, flow.UniqueCommits, classic.Submitted, classic.UniqueCommits)
+			}
+			if !reflect.DeepEqual(flow.Throughput, classic.Throughput) {
+				t.Fatalf("chain-side throughput series diverged")
+			}
+		})
+	}
+}
+
+// TestFlowTenThousandClients runs 10k modeled clients through 20 flow
+// generators — a deployment the per-client loop would spend most of its time
+// scheduling. The aggregated workload must stay live and commit what it
+// submits.
+func TestFlowTenThousandClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-client flow run skipped in -short mode")
+	}
+	res, err := Run(Config{
+		System:        NewRedbelly(),
+		Seed:          42,
+		Validators:    20,
+		Clients:       10_000,
+		Flows:         20,
+		FlowAccounts:  128,
+		RatePerClient: 0.2,
+		Duration:      30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted < 10_000 {
+		t.Fatalf("submitted only %d txs from 10k clients", res.Submitted)
+	}
+	if res.UniqueCommits < res.Submitted*9/10 {
+		t.Fatalf("commits = %d of %d", res.UniqueCommits, res.Submitted)
+	}
+}
+
+// TestMillionClientsIsAConfigValue demonstrates the scale axis headline:
+// one million modeled clients deploy as eight flow nodes, so construction
+// and the idle event loop cost O(flows), not O(clients). The run is sized so
+// no tick fires inside the horizon — the assertion is that building and
+// simulating the deployment is cheap, not that a million-transaction burst
+// clears.
+func TestMillionClientsIsAConfigValue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-client construction skipped in -short mode")
+	}
+	start := time.Now()
+	res, err := Run(Config{
+		System:           NewRedbelly(),
+		Seed:             7,
+		Validators:       20,
+		Clients:          1_000_000,
+		Flows:            8,
+		FlowAccounts:     64,
+		RatePerClient:    0.001, // tick interval 1000s: no burst inside the horizon
+		Duration:         15 * time.Second,
+		DisableConnLayer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 0 {
+		t.Fatalf("expected an idle horizon, got %d submissions", res.Submitted)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("million-client deployment took %v to build and run", elapsed)
+	}
+}

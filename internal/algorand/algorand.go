@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/committee"
 	"stabl/internal/metrics"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
@@ -108,9 +110,72 @@ func DefaultConfig() Config {
 // System implements chain.System for Algorand.
 type System struct {
 	cfg Config
+
+	// Committee mode (core.Config.CommitteeSize): consensus steps run on
+	// sortition committees drawn from a shared, memoized schedule instead
+	// of the full validator set. The mutex covers campaign/suite workers
+	// building experiments off one System value concurrently; extraction
+	// is pure, so sharing the schedule never couples their runs.
+	mu            sync.Mutex
+	committeeSize int
+	sched         *committee.Schedule
+	schedN        int
 }
 
 var _ chain.System = (*System)(nil)
+
+// SetCommitteeSize switches the system into sortition-committee mode (zero
+// restores full-membership consensus). core.Build wires
+// core.Config.CommitteeSize through this before constructing validators.
+func (s *System) SetCommitteeSize(size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.committeeSize != size {
+		s.committeeSize = size
+		s.sched = nil
+	}
+}
+
+// schedule returns the shared committee schedule for an n-validator
+// deployment, or nil when committee mode is off.
+func (s *System) schedule(n int) *committee.Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.committeeSize <= 0 {
+		return nil
+	}
+	if s.sched == nil || s.schedN != n {
+		s.sched = committee.NewSchedule(s.stakeTable(n), s.cfg.SortitionSeed, s.committeeSize)
+		s.schedN = n
+	}
+	return s.sched
+}
+
+// stakeTable converts the configured stake weights into the committee
+// package's integer stake line (equal stakes by default). Weights are
+// scaled to parts-per-million so small fractional stakes stay
+// representable; every validator keeps at least one unit.
+func (s *System) stakeTable(n int) *committee.Table {
+	if len(s.cfg.StakeWeights) == 0 {
+		return committee.Uniform(n)
+	}
+	stakes := make([]uint64, n)
+	for i := range stakes {
+		w := 1.0
+		if i < len(s.cfg.StakeWeights) && s.cfg.StakeWeights[i] > 0 {
+			w = s.cfg.StakeWeights[i]
+		}
+		stakes[i] = uint64(w * 1e6)
+		if stakes[i] == 0 {
+			stakes[i] = 1
+		}
+	}
+	tab, err := committee.NewTable(stakes)
+	if err != nil {
+		panic(fmt.Sprintf("algorand: stake table: %v", err))
+	}
+	return tab
+}
 
 // NewSystem creates an Algorand system with the given configuration.
 func NewSystem(cfg Config) *System { return &System{cfg: cfg} }
@@ -135,8 +200,9 @@ func (s *System) NewValidator(id simnet.NodeID, peers []simnet.NodeID, mon *chai
 		base: chain.NewBaseNode(id, peers, mon, s.cfg.Base),
 		n:    len(peers),
 		t:    chain.ToleranceFifth(len(peers)),
+		comm: s.schedule(len(peers)),
 	}
-	v.quorum = v.n - v.t
+	v.quorum = committee.Quorum(v.n, v.t)
 	for _, g := range genesis {
 		v.base.Ledger.Mint(g.Addr, g.Balance)
 	}
@@ -183,12 +249,26 @@ type (
 	}
 )
 
+// Committee steps of one BA* round (committee mode). The proposer step
+// shares the vote stages' numbering space: stageSoft/stageCert map onto
+// their step values directly.
+const (
+	stepProposer = 0
+	stepNext     = 3
+)
+
 type validator struct {
 	cfg    Config
 	base   *chain.BaseNode
 	n      int
 	t      int
 	quorum int
+	// comm, when non-nil, runs the consensus steps on sortition
+	// committees: propose/vote/next only when seated, votes counted only
+	// from seated members, quorums sized to the committee. All validators
+	// of a run share the schedule; extraction is pure, so every node sees
+	// identical committees without exchanging membership.
+	comm *committee.Schedule
 
 	ctx        *simnet.Context
 	round      int
@@ -264,6 +344,20 @@ func (v *validator) Candidates(round int) []simnet.NodeID {
 	if k > v.n {
 		k = v.n
 	}
+	if v.comm != nil {
+		// Committee mode: the proposer candidates are the first k seats of
+		// the round's proposer committee — extraction order is the
+		// sortition priority, so no O(n log n) ranking of the full set.
+		ord := v.comm.Committee(uint64(round), stepProposer).Order()
+		if k > len(ord) {
+			k = len(ord)
+		}
+		out := make([]simnet.NodeID, k)
+		for i := 0; i < k; i++ {
+			out[i] = v.base.Peers[ord[i]]
+		}
+		return out
+	}
 	type ranked struct {
 		id  simnet.NodeID
 		key float64
@@ -321,6 +415,48 @@ func (v *validator) rank(round int, id simnet.NodeID) int {
 	return -1
 }
 
+// Committee-mode helpers. Validator ids double as stake-table member
+// indices (the deployment assigns validators ids 0..n-1, matching their
+// position in Peers), so membership checks are direct bitset lookups. In
+// full-membership mode every node is seated at every step and the fixed
+// n-t quorum applies.
+
+// seated reports whether the local node sits on the (round, step)
+// committee.
+func (v *validator) seated(round int, step uint8) bool {
+	if v.comm == nil {
+		return true
+	}
+	return v.comm.Committee(uint64(round), step).IsMember(int(v.base.ID))
+}
+
+// countsAt reports whether a vote by voter counts at the (round, step)
+// committee.
+func (v *validator) countsAt(round int, step uint8, voter simnet.NodeID) bool {
+	if v.comm == nil {
+		return true
+	}
+	return v.comm.Committee(uint64(round), step).IsMember(int(voter))
+}
+
+// stepQuorum returns the vote threshold of the (round, step) committee.
+func (v *validator) stepQuorum(round int, step uint8) int {
+	if v.comm == nil {
+		return v.quorum
+	}
+	return v.comm.Committee(uint64(round), step).Quorum()
+}
+
+// evidenceThreshold is how many distinct later-round senders prove the
+// local node fell behind: t+1 over the full membership, a third of a
+// committee plus one in committee mode.
+func (v *validator) evidenceThreshold(round int) int {
+	if v.comm == nil {
+		return v.t + 1
+	}
+	return v.comm.Committee(uint64(round), uint8(stageSoft)).Evidence()
+}
+
 // Deliver implements simnet.Handler.
 func (v *validator) Deliver(from simnet.NodeID, payload any) {
 	if v.base.HandleClient(from, payload) {
@@ -374,7 +510,7 @@ func (v *validator) noteEvidence(round int, from simnet.NodeID) {
 		v.evidence[round] = ev
 	}
 	ev[from] = true
-	if len(ev) >= v.t+1 {
+	if len(ev) >= v.evidenceThreshold(round) {
 		v.advance(round, false)
 	}
 }
@@ -392,7 +528,7 @@ func (v *validator) enterRound(round int) {
 	v.roundTimer = v.ctx.After(v.filterTO, func() { v.onFilterStep(round) })
 	// Replay quorums that assembled before we entered this round (e.g.
 	// right after a jump).
-	if voters := v.nexts[round]; len(voters) >= v.quorum {
+	if voters := v.nexts[round]; len(voters) >= v.stepQuorum(round, stepNext) {
 		v.advance(round+1, true)
 	}
 }
@@ -452,6 +588,9 @@ func (v *validator) onVote(msg voteMsg) {
 	if msg.Round < v.round || v.committed[msg.Round] {
 		return
 	}
+	if !v.countsAt(msg.Round, uint8(msg.Stage), msg.Voter) {
+		return
+	}
 	stages, ok := v.votes[msg.Round]
 	if !ok {
 		stages = make(map[string]map[simnet.NodeID]bool)
@@ -467,11 +606,13 @@ func (v *validator) onVote(msg voteMsg) {
 	if msg.Round != v.round {
 		return
 	}
-	if msg.Stage == stageSoft && len(voters) >= v.quorum && !v.certSent[msg.Round] {
+	if msg.Stage == stageSoft && len(voters) >= v.stepQuorum(msg.Round, stageSoft) && !v.certSent[msg.Round] {
 		v.certSent[msg.Round] = true
-		v.castVote(msg.Round, stageCert, msg.Proposer)
+		if v.seated(msg.Round, stageCert) {
+			v.castVote(msg.Round, stageCert, msg.Proposer)
+		}
 	}
-	if msg.Stage == stageCert && len(voters) >= v.quorum {
+	if msg.Stage == stageCert && len(voters) >= v.stepQuorum(msg.Round, stageCert) {
 		v.commitRound(msg.Round, msg.Proposer)
 	}
 }
@@ -525,12 +666,16 @@ func (v *validator) onFilterStep(round int) {
 					v.onRoundStuck(round)
 					return
 				}
-				v.castVote(round, stageSoft, fallback.Proposer)
+				if v.seated(round, stageSoft) {
+					v.castVote(round, stageSoft, fallback.Proposer)
+				}
 				v.roundTimer = v.ctx.After(v.cfg.CertTimeout, func() { v.onRoundStuck(round) })
 			})
 			return
 		}
-		v.castVote(round, stageSoft, prop.Proposer)
+		if v.seated(round, stageSoft) {
+			v.castVote(round, stageSoft, prop.Proposer)
+		}
 		v.roundTimer = v.ctx.After(v.cfg.CertTimeout, func() { v.onRoundStuck(round) })
 		return
 	}
@@ -559,14 +704,24 @@ func (v *validator) onRoundStuck(round int) {
 		return
 	}
 	v.base.Consensus(metrics.EventTimeout, round, v.Proposer(round), "round stuck")
-	msg := nextMsg{Round: round, Voter: v.base.ID}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	// The timer re-arms between the broadcast and the local vote: onNext
+	// may advance the round, and the round-entry timer it installs must
+	// survive this handler.
+	if v.seated(round, stepNext) {
+		msg := nextMsg{Round: round, Voter: v.base.ID}
+		v.ctx.Broadcast(v.base.Peers, msg)
+		v.roundTimer = v.ctx.After(v.filterTO+v.cfg.CertTimeout, func() { v.onRoundStuck(round) })
+		v.onNext(msg)
+		return
+	}
 	v.roundTimer = v.ctx.After(v.filterTO+v.cfg.CertTimeout, func() { v.onRoundStuck(round) })
-	v.onNext(msg)
 }
 
 func (v *validator) onNext(msg nextMsg) {
 	if msg.Round < v.round {
+		return
+	}
+	if !v.countsAt(msg.Round, stepNext, msg.Voter) {
 		return
 	}
 	voters, ok := v.nexts[msg.Round]
@@ -575,7 +730,7 @@ func (v *validator) onNext(msg nextMsg) {
 		v.nexts[msg.Round] = voters
 	}
 	voters[msg.Voter] = true
-	if msg.Round == v.round && len(voters) >= v.quorum {
+	if msg.Round == v.round && len(voters) >= v.stepQuorum(msg.Round, stepNext) {
 		v.advance(msg.Round+1, true)
 	}
 }

@@ -26,6 +26,10 @@ type familyKey struct {
 	scenario  string
 	injectSec float64
 	outageSec float64
+	// committee joins the key because the committee size changes the whole
+	// run from the first round, not just the post-fault suffix: prefixes
+	// with different committee sizes are never byte-identical.
+	committee int
 }
 
 // family returns the cell's checkpoint family, or ok=false when the cell
@@ -36,7 +40,8 @@ func (c Cell) family() (familyKey, bool) {
 	if c.Scenario != "" {
 		// Intensity scales magnitudes only (loss rate, delay, jitter);
 		// the compiled timeline's instants and action count are fixed.
-		return familyKey{system: c.System, seed: c.Seed, scenario: c.Scenario}, true
+		return familyKey{system: c.System, seed: c.Seed, scenario: c.Scenario,
+			committee: c.CommitteeSize}, true
 	}
 	kind, err := core.ParseFaultKind(c.Fault)
 	if err != nil || !kind.NeedsNodes() {
@@ -45,6 +50,7 @@ func (c Cell) family() (familyKey, bool) {
 	return familyKey{
 		system: c.System, seed: c.Seed, fault: c.Fault,
 		injectSec: c.InjectSec, outageSec: c.OutageSec,
+		committee: c.CommitteeSize,
 	}, true
 }
 

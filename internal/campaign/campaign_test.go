@@ -297,3 +297,39 @@ func TestHeatmapGridMarksInfiniteAndMissing(t *testing.T) {
 		t.Fatalf("slow row = %v, want inf", values[1])
 	}
 }
+
+// TestExpandCommitteeAxis checks the scale axis: committeeSizes multiplies
+// the grid, lands on every cell, distinguishes keys and slugs, and splits
+// checkpoint families — a committee-mode run shares no prefix with a
+// full-membership one.
+func TestExpandCommitteeAxis(t *testing.T) {
+	spec := fastSpec()
+	spec.CommitteeSizes = []int{0, 16}
+	cells, err := expand(spec.withDefaults(), resolveStubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := expand(fastSpec().withDefaults(), resolveStubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*len(base) {
+		t.Fatalf("committee axis expanded to %d cells, want %d", len(cells), 2*len(base))
+	}
+	full, comm := cells[0], cells[len(base)]
+	if full.CommitteeSize != 0 || comm.CommitteeSize != 16 {
+		t.Fatalf("committee dimension not laid out per size block: %+v / %+v", full, comm)
+	}
+	if full.Key() == comm.Key() || full.Slug() == comm.Slug() {
+		t.Fatalf("committee size missing from key or slug: %q / %q", full.Key(), full.Slug())
+	}
+	fk, ok1 := full.family()
+	ck, ok2 := comm.family()
+	if !ok1 || !ok2 || fk == ck {
+		t.Fatalf("committee size must split checkpoint families: %+v vs %+v", fk, ck)
+	}
+	// Size 0 must keep the classic coordinates byte-stable.
+	if full.Key() != base[0].Key() || full.Slug() != base[0].Slug() {
+		t.Fatalf("size-0 cell renamed classic coordinate: %q vs %q", full.Key(), base[0].Key())
+	}
+}

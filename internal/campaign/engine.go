@@ -158,6 +158,7 @@ func cellConfig(spec Spec, cell Cell, resolve func(string) (chain.System, error)
 	cellSpec := spec.Base
 	cellSpec.System = cell.System
 	cellSpec.Seed = cell.Seed
+	cellSpec.CommitteeSize = cell.CommitteeSize
 	if cell.Scenario != "" {
 		sc, ok := spec.scenarioByName(cell.Scenario)
 		if !ok {
@@ -240,16 +241,19 @@ func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res 
 
 // baselineCache shares fault-free baseline runs across cells. Within one
 // campaign every cell uses the same deployment template, so the baseline is
-// fully determined by (system, seed): a grid of dozens of fault cells pays
-// for each baseline once instead of once per cell.
+// fully determined by (system, seed, committee size): a grid of dozens of
+// fault cells pays for each baseline once instead of once per cell. The
+// committee size joins the key because it changes the fault-free run itself,
+// unlike the swept fault dimensions.
 type baselineCache struct {
 	mu sync.Mutex
 	m  map[baselineKey]*baselineEntry
 }
 
 type baselineKey struct {
-	system string
-	seed   int64
+	system    string
+	seed      int64
+	committee int
 }
 
 type baselineEntry struct {
@@ -263,7 +267,7 @@ func newBaselineCache() *baselineCache {
 }
 
 func (c *baselineCache) get(system string, seed int64, cfg core.Config) (*core.RunResult, error) {
-	key := baselineKey{system, seed}
+	key := baselineKey{system: system, seed: seed, committee: cfg.CommitteeSize}
 	c.mu.Lock()
 	e := c.m[key]
 	if e == nil {

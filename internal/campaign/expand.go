@@ -25,17 +25,26 @@ type Cell struct {
 	// dimensions are empty then): the named spec scaled by Intensity.
 	Scenario  string  `json:"scenario,omitempty"`
 	Intensity float64 `json:"intensity,omitempty"`
-	Seed      int64   `json:"seed"`
+	// CommitteeSize is the sortition committee size the cell deploys with
+	// (0 = full membership); the campaign's scale axis.
+	CommitteeSize int   `json:"committeeSize,omitempty"`
+	Seed          int64 `json:"seed"`
 }
 
 // Key renders the cell's coordinate without the seed, the grouping unit for
 // cross-seed aggregation.
 func (c Cell) Key() string {
-	if c.Scenario != "" {
-		return fmt.Sprintf("%s/scenario:%s x%g", c.System, c.Scenario, c.Intensity)
+	// The committee suffix appears only when the axis is active, keeping
+	// classic campaign keys (and downstream labels) byte-stable.
+	comm := ""
+	if c.CommitteeSize > 0 {
+		comm = fmt.Sprintf(" committee=%d", c.CommitteeSize)
 	}
-	return fmt.Sprintf("%s/%s f=%d inject=%gs outage=%gs slow=%gs",
-		c.System, c.Fault, c.Count, c.InjectSec, c.OutageSec, c.SlowBySec)
+	if c.Scenario != "" {
+		return fmt.Sprintf("%s/scenario:%s x%g%s", c.System, c.Scenario, c.Intensity, comm)
+	}
+	return fmt.Sprintf("%s/%s f=%d inject=%gs outage=%gs slow=%gs%s",
+		c.System, c.Fault, c.Count, c.InjectSec, c.OutageSec, c.SlowBySec, comm)
 }
 
 // String renders the full cell coordinate.
@@ -44,19 +53,24 @@ func (c Cell) String() string { return fmt.Sprintf("%s seed=%d", c.Key(), c.Seed
 // Slug renders the full cell coordinate as a filesystem-safe unique name,
 // used for per-cell metrics dumps.
 func (c Cell) Slug() string {
-	if c.Scenario != "" {
-		return fmt.Sprintf("%s-scenario-%s-x%g-seed%d",
-			strings.ToLower(c.System), c.Scenario, c.Intensity, c.Seed)
+	comm := ""
+	if c.CommitteeSize > 0 {
+		comm = fmt.Sprintf("-c%d", c.CommitteeSize)
 	}
-	return fmt.Sprintf("%s-%s-f%d-i%gs-o%gs-d%gs-seed%d",
+	if c.Scenario != "" {
+		return fmt.Sprintf("%s-scenario-%s-x%g%s-seed%d",
+			strings.ToLower(c.System), c.Scenario, c.Intensity, comm, c.Seed)
+	}
+	return fmt.Sprintf("%s-%s-f%d-i%gs-o%gs-d%gs%s-seed%d",
 		strings.ToLower(c.System), c.Fault, c.Count,
-		c.InjectSec, c.OutageSec, c.SlowBySec, c.Seed)
+		c.InjectSec, c.OutageSec, c.SlowBySec, comm, c.Seed)
 }
 
-// expand materializes the spec's grid: systems × faults × counts × inject
-// times × outages × slow-bys × seeds, with inapplicable dimensions collapsed
-// per fault kind so the grid holds no duplicate coordinates. The order is
-// deterministic: dimensions nest in the order above, seeds vary fastest.
+// expand materializes the spec's grid: systems × committee sizes × faults ×
+// counts × inject times × outages × slow-bys × seeds, with inapplicable
+// dimensions collapsed per fault kind so the grid holds no duplicate
+// coordinates. The order is deterministic: dimensions nest in the order
+// above, seeds vary fastest.
 func expand(spec Spec, resolve func(string) (chain.System, error)) ([]Cell, error) {
 	validators := spec.Base.Validators
 	if validators == 0 {
@@ -70,56 +84,60 @@ func expand(spec Spec, resolve func(string) (chain.System, error)) ([]Cell, erro
 			return nil, err
 		}
 		tolerance := sys.Tolerance(validators)
-		for _, faultName := range spec.Faults {
-			kind, err := core.ParseFaultKind(faultName)
-			if err != nil {
-				return nil, err
-			}
+		for _, committee := range spec.CommitteeSizes {
+			for _, faultName := range spec.Faults {
+				kind, err := core.ParseFaultKind(faultName)
+				if err != nil {
+					return nil, err
+				}
 
-			counts := []int{0}
-			injects := []float64{0}
-			if kind.NeedsNodes() {
-				counts = resolveCounts(tolerance, spec.CountDeltas)
-				injects = spec.InjectSecs
-			}
-			outages := []float64{0}
-			if kind.Recovers() {
-				outages = spec.OutageSecs
-			}
-			slows := []float64{0}
-			if kind == core.FaultSlow {
-				slows = spec.SlowBySecs
-			}
+				counts := []int{0}
+				injects := []float64{0}
+				if kind.NeedsNodes() {
+					counts = resolveCounts(tolerance, spec.CountDeltas)
+					injects = spec.InjectSecs
+				}
+				outages := []float64{0}
+				if kind.Recovers() {
+					outages = spec.OutageSecs
+				}
+				slows := []float64{0}
+				if kind == core.FaultSlow {
+					slows = spec.SlowBySecs
+				}
 
-			for _, count := range counts {
-				for _, inject := range injects {
-					for _, outage := range outages {
-						for _, slow := range slows {
-							for _, seed := range spec.Seeds {
-								cells = append(cells, Cell{
-									System:    sysName,
-									Fault:     faultName,
-									Count:     count,
-									InjectSec: inject,
-									OutageSec: outage,
-									SlowBySec: slow,
-									Seed:      seed,
-								})
+				for _, count := range counts {
+					for _, inject := range injects {
+						for _, outage := range outages {
+							for _, slow := range slows {
+								for _, seed := range spec.Seeds {
+									cells = append(cells, Cell{
+										System:        sysName,
+										Fault:         faultName,
+										Count:         count,
+										InjectSec:     inject,
+										OutageSec:     outage,
+										SlowBySec:     slow,
+										CommitteeSize: committee,
+										Seed:          seed,
+									})
+								}
 							}
 						}
 					}
 				}
 			}
-		}
-		for _, sc := range spec.Scenarios {
-			for _, intensity := range spec.Intensities {
-				for _, seed := range spec.Seeds {
-					cells = append(cells, Cell{
-						System:    sysName,
-						Scenario:  sc.Name,
-						Intensity: intensity,
-						Seed:      seed,
-					})
+			for _, sc := range spec.Scenarios {
+				for _, intensity := range spec.Intensities {
+					for _, seed := range spec.Seeds {
+						cells = append(cells, Cell{
+							System:        sysName,
+							Scenario:      sc.Name,
+							Intensity:     intensity,
+							CommitteeSize: committee,
+							Seed:          seed,
+						})
+					}
 				}
 			}
 		}

@@ -106,7 +106,7 @@ type SurfacePoint struct {
 // Surface is one system's sensitivity marginal along one spec dimension.
 type Surface struct {
 	// Dimension is "fault", "scenario", "intensity", "count",
-	// "injectSec", "outageSec" or "slowBySec".
+	// "injectSec", "outageSec", "slowBySec" or "committeeSize".
 	Dimension string         `json:"dimension"`
 	Points    []SurfacePoint `json:"points"`
 }
@@ -372,6 +372,9 @@ func summarizeSystem(name string, cells []*CellResult, points []*Point) *SystemS
 		}),
 		surface("slowBySec", own, func(c *CellResult) (string, bool) {
 			return fmt.Sprintf("slow=%gs", c.SlowBySec), c.SlowBySec > 0
+		}),
+		surface("committeeSize", own, func(c *CellResult) (string, bool) {
+			return fmt.Sprintf("committee=%d", c.CommitteeSize), c.CommitteeSize > 0
 		}),
 	}
 

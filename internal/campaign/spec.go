@@ -59,6 +59,12 @@ type Spec struct {
 	// rate, slow delay, jitter bound) via scenario.Spec.Scaled; defaults
 	// to {1}. Ignored when Scenarios is empty.
 	Intensities []float64 `json:"intensities,omitempty"`
+	// CommitteeSizes sweeps the sortition committee size (the scale axis):
+	// size 0 runs full membership, positive sizes require every swept
+	// system to support committees (see core.Config.CommitteeSize).
+	// Defaults to {Base.CommitteeSize}, keeping the axis inert unless
+	// declared.
+	CommitteeSizes []int `json:"committeeSizes,omitempty"`
 	// Seeds repeat every coordinate; defaults to {1, 2, 3}.
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Sample, when positive and smaller than the full grid, runs only a
@@ -135,6 +141,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.SlowBySecs) == 0 {
 		s.SlowBySecs = []float64{30}
 	}
+	if len(s.CommitteeSizes) == 0 {
+		s.CommitteeSizes = []int{s.Base.CommitteeSize}
+	}
 	if len(s.Seeds) == 0 {
 		s.Seeds = []int64{1, 2, 3}
 	}
@@ -167,6 +176,11 @@ func (s Spec) validate() error {
 	}
 	if s.Sample < 0 {
 		return fmt.Errorf("campaign: sample must be non-negative, got %d", s.Sample)
+	}
+	for _, v := range s.CommitteeSizes {
+		if v < 0 {
+			return fmt.Errorf("campaign: committeeSizes must be non-negative, got %d", v)
+		}
 	}
 	switch s.Mode {
 	case "", ModeGrid, ModeAdaptive:

@@ -89,9 +89,12 @@ type BaseNode struct {
 // NewBaseNode constructs the shared validator core. The ledger persists
 // across restarts; everything else is rebuilt in Reset.
 func NewBaseNode(id simnet.NodeID, peers []simnet.NodeID, monitor *Monitor, cfg BaseConfig) *BaseNode {
+	// Peers is shared, not copied: every validator reads the same
+	// deployment-owned roster (nobody mutates it), and a per-node copy is
+	// O(n^2) memory at 10k nodes.
 	n := &BaseNode{
 		ID:      id,
-		Peers:   append([]simnet.NodeID(nil), peers...),
+		Peers:   peers,
 		Ledger:  NewLedger(),
 		Monitor: monitor,
 		cfg:     cfg.withDefaults(),

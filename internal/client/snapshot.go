@@ -81,6 +81,64 @@ func (c *Client) Restore(state snapshot.State) {
 	c.duplicates = st.duplicates
 }
 
+var _ snapshot.Forkable = (*FlowClient)(nil)
+
+// Snapshot captures the flow client: in-flight transactions, retry
+// bookkeeping and the measured latencies. The layout mirrors clientState —
+// a flow is k clients behind one endpoint, and its checkpoint is the same
+// shape regardless of k.
+func (c *FlowClient) Snapshot() snapshot.State {
+	st := &clientState{
+		ctx:        c.ctx,
+		ticker:     c.ticker,
+		pending:    make(map[chain.TxID]pendingTx, len(c.pending)),
+		order:      append([]chain.TxID(nil), c.order...),
+		credits:    c.credits,
+		lastAccrue: c.lastAccrue,
+		latencies:  append([]float64(nil), c.latencies...),
+		completeAt: append([]time.Duration(nil), c.completeAt...),
+		submitted:  c.submitted,
+		retried:    c.retried,
+		duplicates: c.duplicates,
+	}
+	for id, p := range c.pending {
+		cp := *p
+		cp.confirmed = make(map[simnet.NodeID]bool, len(p.confirmed))
+		for ep := range p.confirmed {
+			cp.confirmed[ep] = true
+		}
+		st.pending[id] = cp
+	}
+	return st
+}
+
+// Restore rewinds the flow client to a state captured by Snapshot.
+func (c *FlowClient) Restore(state snapshot.State) {
+	st, ok := state.(*clientState)
+	if !ok {
+		panic("client: FlowClient.Restore on foreign state")
+	}
+	c.ctx = st.ctx
+	c.ticker = st.ticker
+	c.pending = make(map[chain.TxID]*pendingTx, len(st.pending))
+	for id, p := range st.pending {
+		cp := p
+		cp.confirmed = make(map[simnet.NodeID]bool, len(p.confirmed))
+		for ep := range p.confirmed {
+			cp.confirmed[ep] = true
+		}
+		c.pending[id] = &cp
+	}
+	c.order = append(c.order[:0], st.order...)
+	c.credits = st.credits
+	c.lastAccrue = st.lastAccrue
+	c.latencies = append(c.latencies[:0], st.latencies...)
+	c.completeAt = append(c.completeAt[:0], st.completeAt...)
+	c.submitted = st.submitted
+	c.retried = st.retried
+	c.duplicates = st.duplicates
+}
+
 // readerState is a VerifiedReader checkpoint. The retry closure retains its
 // own pendingRead (already removed from the map and immutable from then on),
 // so pending entries are rebuilt as fresh objects on restore.

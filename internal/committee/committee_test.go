@@ -1,0 +1,199 @@
+package committee
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtractDeterministic(t *testing.T) {
+	tab := Uniform(100)
+	a := tab.Extract(42, 7, 1, 16)
+	b := tab.Extract(42, 7, 1, 16)
+	if a.Size() != 16 || b.Size() != 16 {
+		t.Fatalf("committee sizes = %d, %d; want 16", a.Size(), b.Size())
+	}
+	am, bm := a.Members(), b.Members()
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("member %d differs: %d vs %d", i, am[i], bm[i])
+		}
+	}
+	c := tab.Extract(42, 7, 2, 16)
+	same := true
+	for i, m := range c.Members() {
+		if m != am[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("step 1 and step 2 committees are identical; extraction ignores the step")
+	}
+}
+
+func TestExtractDistinctMembers(t *testing.T) {
+	tab := Uniform(64)
+	c := tab.Extract(1, 3, 0, 20)
+	seen := make(map[int]bool)
+	for _, m := range c.Members() {
+		if seen[m] {
+			t.Fatalf("member %d extracted twice", m)
+		}
+		seen[m] = true
+		if !c.IsMember(m) {
+			t.Fatalf("IsMember(%d) = false for an extracted member", m)
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("got %d distinct members, want 20", len(seen))
+	}
+	if c.IsMember(-1) || c.IsMember(64) || c.IsMember(1<<20) {
+		t.Fatal("IsMember accepts out-of-range indices")
+	}
+}
+
+func TestExtractFullCommittee(t *testing.T) {
+	tab := Uniform(10)
+	for _, size := range []int{0, 10, 50} {
+		c := tab.Extract(9, 1, 1, size)
+		if c.Size() != 10 {
+			t.Fatalf("size %d: committee has %d members, want all 10", size, c.Size())
+		}
+	}
+}
+
+func TestZeroStakeNeverExtracted(t *testing.T) {
+	stakes := make([]uint64, 30)
+	for i := range stakes {
+		if i%3 != 0 {
+			stakes[i] = 5
+		}
+	}
+	tab, err := NewTable(stakes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := uint64(0); round < 50; round++ {
+		c := tab.Extract(7, round, 1, 10)
+		for _, m := range c.Members() {
+			if stakes[m] == 0 {
+				t.Fatalf("round %d: zero-stake member %d extracted", round, m)
+			}
+		}
+	}
+	full := tab.Extract(7, 0, 1, 0)
+	if full.Size() != 20 {
+		t.Fatalf("full committee has %d members, want the 20 staked ones", full.Size())
+	}
+}
+
+func TestStakeWeighting(t *testing.T) {
+	// One whale with half the stake should be seated in nearly every
+	// committee; a 1-unit member only occasionally.
+	stakes := make([]uint64, 101)
+	for i := range stakes {
+		stakes[i] = 1
+	}
+	stakes[0] = 100
+	tab, err := NewTable(stakes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whale, minnow := 0, 0
+	const rounds = 400
+	for round := uint64(0); round < rounds; round++ {
+		c := tab.Extract(11, round, 1, 8)
+		if c.IsMember(0) {
+			whale++
+		}
+		if c.IsMember(1) {
+			minnow++
+		}
+	}
+	if whale < rounds*3/4 {
+		t.Fatalf("whale seated %d/%d times; want > 3/4", whale, rounds)
+	}
+	if minnow >= whale/2 {
+		t.Fatalf("minnow seated %d times vs whale %d; weighting looks broken", minnow, whale)
+	}
+}
+
+func TestFenwickMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		stakes := make([]uint64, n)
+		var total uint64
+		for i := range stakes {
+			stakes[i] = uint64(rng.Intn(10))
+			total += stakes[i]
+		}
+		if total == 0 {
+			stakes[0], total = 1, 1
+		}
+		fen := newFenwick(stakes)
+		for probe := 0; probe < 50; probe++ {
+			target := uint64(rng.Int63n(int64(total)))
+			got := fen.find(target)
+			want, cum := -1, uint64(0)
+			for i, s := range stakes {
+				cum += s
+				if target < cum {
+					want = i
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: find(%d) = %d, want %d (stakes %v)", trial, target, got, want, stakes)
+			}
+		}
+	}
+}
+
+func TestQuorumThresholds(t *testing.T) {
+	if got := Quorum(10, 2); got != 8 {
+		t.Fatalf("Quorum(10,2) = %d, want 8", got)
+	}
+	c := Uniform(100).Extract(1, 1, 1, 30)
+	if got := c.Quorum(); got != 21 {
+		t.Fatalf("committee quorum = %d, want 21", got)
+	}
+	if got := c.Evidence(); got != 11 {
+		t.Fatalf("committee evidence threshold = %d, want 11", got)
+	}
+}
+
+func TestScheduleMemoizes(t *testing.T) {
+	sched := NewSchedule(Uniform(50), 42, 12)
+	a := sched.Committee(3, 1)
+	if b := sched.Committee(3, 1); a != b {
+		t.Fatal("second ask for the same (round, step) missed the cache")
+	}
+	// Push the entry out of the window; the recomputed committee must be
+	// equal even though the pointer changes.
+	for r := uint64(100); r < 100+scheduleWindow+8; r++ {
+		sched.Committee(r, 1)
+	}
+	c := sched.Committee(3, 1)
+	am, cm := a.Members(), c.Members()
+	if len(am) != len(cm) {
+		t.Fatalf("recomputed committee size %d != %d", len(cm), len(am))
+	}
+	for i := range am {
+		if am[i] != cm[i] {
+			t.Fatalf("recomputed committee differs at seat %d", i)
+		}
+	}
+}
+
+func TestNewTableRejectsBadStakes(t *testing.T) {
+	if _, err := NewTable(nil); err == nil {
+		t.Fatal("nil stake table accepted")
+	}
+	if _, err := NewTable([]uint64{0, 0}); err == nil {
+		t.Fatal("all-zero stake table accepted")
+	}
+	if _, err := NewTable([]uint64{1 << 63, 1}); err == nil {
+		t.Fatal("overflowing stake accepted")
+	}
+}

@@ -97,6 +97,32 @@ type Config struct {
 	RatePerClient     float64
 	AccountsPerClient int
 	Duration          time.Duration
+	// Flows, when positive, replaces the Clients individual load clients
+	// with this many aggregated flow generators (see workload.Flow):
+	// Clients then counts *modeled* clients — it may exceed Validators
+	// and reach into the millions — while the deployment carries one
+	// network endpoint and one event loop per flow. Zero keeps the
+	// classic one-endpoint-per-client deployment.
+	Flows int
+	// FlowAccounts caps each flow's folded sender-account set. Zero
+	// disables folding (every modeled client owns AccountsPerClient
+	// distinct accounts, the exact classic layout); a positive cap folds
+	// the modeled clients onto at most this many accounts per flow, so
+	// ledger and genesis state stay bounded at any client count. Only
+	// meaningful with Flows > 0.
+	FlowAccounts int
+	// CommitteeSize, when positive, runs consensus on stake-weighted
+	// sortition committees of this size (internal/committee) instead of
+	// the full validator set, making per-round protocol work O(committee)
+	// rather than O(n). Requires a System that supports committees
+	// (currently Algorand). Zero keeps full-membership consensus.
+	CommitteeSize int
+	// DisableConnLayer skips the managed TCP-like connection layer, whose
+	// per-pair state and heartbeats cost O(Validators^2) — prohibitive at
+	// 10k nodes. Without it, links are always up: partition/crash faults
+	// still apply (they gate sends directly), but reconnect dynamics
+	// disappear. ROADMAP item 2 (sparse overlays) is the structural fix.
+	DisableConnLayer bool
 	// Fanout is how many validators each client submits to (1 = the
 	// default SDK; Tolerance+1 = the secure client).
 	Fanout int
@@ -189,7 +215,27 @@ func (c Config) validate() error {
 	if c.System == nil {
 		return fmt.Errorf("core: config needs a System")
 	}
-	if c.Clients > c.Validators {
+	if c.Flows < 0 {
+		return fmt.Errorf("core: negative flow count %d", c.Flows)
+	}
+	if c.Flows > c.Clients {
+		return fmt.Errorf("core: %d flows cannot model only %d clients", c.Flows, c.Clients)
+	}
+	if c.FlowAccounts < 0 {
+		return fmt.Errorf("core: negative flow account cap %d", c.FlowAccounts)
+	}
+	if c.FlowAccounts > 0 && c.Flows == 0 {
+		return fmt.Errorf("core: flowAccounts needs flows > 0")
+	}
+	if c.CommitteeSize < 0 {
+		return fmt.Errorf("core: negative committee size %d", c.CommitteeSize)
+	}
+	if c.CommitteeSize > 0 {
+		if _, ok := c.System.(committeeSystem); !ok {
+			return fmt.Errorf("core: system %s does not support sortition committees", c.System.Name())
+		}
+	}
+	if c.Flows == 0 && c.Clients > c.Validators {
 		return fmt.Errorf("core: %d clients need at most %d validators", c.Clients, c.Validators)
 	}
 	if c.Scenario != nil {
@@ -204,14 +250,40 @@ func (c Config) validate() error {
 		}
 	}
 	f := c.faultCount()
-	if f > c.Validators-c.Clients && c.Fault.Kind.NeedsNodes() {
+	if f > c.Validators-c.clientFacing() && c.Fault.Kind.NeedsNodes() {
 		return fmt.Errorf("core: %d faulty nodes but only %d validators have no client attached",
-			f, c.Validators-c.Clients)
+			f, c.Validators-c.clientFacing())
 	}
-	if c.Fanout > c.Clients {
-		return fmt.Errorf("core: fanout %d exceeds the %d client-facing validators", c.Fanout, c.Clients)
+	if c.Fanout > c.clientFacing() {
+		return fmt.Errorf("core: fanout %d exceeds the %d client-facing validators", c.Fanout, c.clientFacing())
 	}
 	return nil
+}
+
+// committeeSystem is implemented by systems whose consensus can run on
+// sortition committees (internal/committee).
+type committeeSystem interface {
+	SetCommitteeSize(size int)
+}
+
+// clientFacing is how many validators serve client traffic. Classically it
+// is Clients (client i submits to validator i); in flow mode modeled
+// clients outnumber validators, so flows spread their members across every
+// validator the worst-case default fault plan (f = tolerance+1) never
+// touches — keeping the pool independent of the swept fault so baseline
+// and altered runs deploy identically.
+func (c Config) clientFacing() int {
+	if c.Flows == 0 {
+		return c.Clients
+	}
+	p := c.Validators - (c.System.Tolerance(c.Validators) + 1)
+	if p < 1 {
+		p = 1
+	}
+	if c.Clients < p {
+		p = c.Clients
+	}
+	return p
 }
 
 // NeedsNodes reports whether the kind affects a set of validator nodes (as
@@ -254,13 +326,78 @@ func (c Config) faultCount() int {
 	}
 }
 
-// Network id layout.
+// Network id layout. The legacy bases are used whenever they fit — the
+// seed-42 goldens pin the node ids they induce — and larger deployments
+// (10k validators, many flows) switch to computed collision-free bases.
 const (
 	clientIDBase   = 100
 	readerIDBase   = 500
 	observerIDBase = 1000
 	primaryID      = 2000
 )
+
+// idLayout resolves the network id bases for one deployment.
+type idLayout struct {
+	clientBase   int
+	readerBase   int
+	observerBase int
+	primary      int
+}
+
+// clientNodes is how many client endpoints sit on the network: individual
+// clients classically, flow aggregates in flow mode.
+func (c Config) clientNodes() int {
+	if c.Flows > 0 {
+		return c.Flows
+	}
+	return c.Clients
+}
+
+// layout picks the id bases: legacy constants when the deployment fits
+// under them (validators below the client base, client endpoints and
+// readers inside their legacy windows), else bases packed directly above
+// the validator range.
+func (c Config) layout() idLayout {
+	n := c.clientNodes()
+	if c.Validators <= clientIDBase && n <= readerIDBase-clientIDBase && c.Validators <= primaryID-observerIDBase {
+		return idLayout{clientBase: clientIDBase, readerBase: readerIDBase, observerBase: observerIDBase, primary: primaryID}
+	}
+	cb := c.Validators
+	rb := cb + n
+	ob := rb + n
+	return idLayout{clientBase: cb, readerBase: rb, observerBase: ob, primary: ob + c.Validators}
+}
+
+// flowSpan is one flow's slice of the modeled-client and account spaces.
+type flowSpan struct {
+	start    int // global index of the flow's first modeled client
+	clients  int // modeled clients in this flow
+	acctBase int // first folded account address owned by the flow
+	accts    int // folded account count
+}
+
+// flowSpans partitions the modeled clients into contiguous per-flow ranges
+// and lays their (possibly folded) account sets out contiguously from
+// address zero.
+func (c Config) flowSpans() []flowSpan {
+	spans := make([]flowSpan, c.Flows)
+	base, rem := c.Clients/c.Flows, c.Clients%c.Flows
+	cs, as := 0, 0
+	for i := range spans {
+		k := base
+		if i < rem {
+			k++
+		}
+		a := k * c.AccountsPerClient
+		if c.FlowAccounts > 0 && a > c.FlowAccounts {
+			a = c.FlowAccounts
+		}
+		spans[i] = flowSpan{start: cs, clients: k, acctBase: as, accts: a}
+		cs += k
+		as += a
+	}
+	return spans
+}
 
 // RunResult is everything measured in one run.
 type RunResult struct {
@@ -311,6 +448,8 @@ type Experiment struct {
 	bases      []*chain.BaseNode
 	clients    []*client.Client
 	gens       []*workload.Generator
+	flows      []*client.FlowClient
+	flowGens   []*workload.Flow
 	readers    []*client.VerifiedReader
 	observers  []*observer.Observer
 	primary    *observer.Primary
@@ -340,6 +479,14 @@ func Build(cfg Config) (*Experiment, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	lay := cfg.layout()
+	// Committee mode is a System-level switch: validators read it at
+	// construction time, so it must be set before NewValidator runs.
+	// Setting it unconditionally clears any size a previous run left on a
+	// reused System value.
+	if cs, ok := cfg.System.(committeeSystem); ok {
+		cs.SetCommitteeSize(cfg.CommitteeSize)
 	}
 
 	sched := sim.New(cfg.Seed)
@@ -380,13 +527,15 @@ func Build(cfg Config) (*Experiment, error) {
 		validators = append(validators, h)
 		net.AddNode(id, h)
 	}
-	net.ManageConns(peers, cfg.System.ConnParams())
+	if !cfg.DisableConnLayer {
+		net.ManageConns(peers, cfg.System.ConnParams())
+	}
 
 	// Observers and primary (Fig 2).
 	mapping := make(map[simnet.NodeID]simnet.NodeID, cfg.Validators)
 	observers := make([]*observer.Observer, 0, cfg.Validators)
 	for i, id := range peers {
-		obsID := simnet.NodeID(observerIDBase + i)
+		obsID := simnet.NodeID(lay.observerBase + i)
 		obs := observer.New(id, net)
 		observers = append(observers, obs)
 		net.AddNode(obsID, obs)
@@ -397,40 +546,87 @@ func Build(cfg Config) (*Experiment, error) {
 		return nil, err
 	}
 	primary := observer.NewPrimary(script, mapping)
-	net.AddNode(primaryID, primary)
+	net.AddNode(simnet.NodeID(lay.primary), primary)
 
-	// Clients.
-	clients := make([]*client.Client, cfg.Clients)
-	gens := make([]*workload.Generator, cfg.Clients)
-	accountSets := workload.Accounts(cfg.Clients, cfg.AccountsPerClient)
-	all := workload.AllAccounts(accountSets)
-	for i := range clients {
-		gen := workload.NewGenerator(uint32(i), accountSets[i], all,
-			sched.RNG(fmt.Sprintf("workload/%d", i)))
-		gens[i] = gen
-		clients[i] = client.New(client.Config{
-			Index:      uint32(i),
-			Endpoints:  cfg.clientEndpoints(i),
-			Rate:       cfg.RatePerClient,
-			Profile:    cfg.Profile,
-			Stop:       cfg.Duration,
-			RetryAfter: cfg.RetryAfter,
-			MaxRetries: cfg.MaxRetries,
-		}, gen)
-		net.AddNode(simnet.NodeID(clientIDBase+i), clients[i])
+	// Clients: one endpoint per individual client classically, one per
+	// aggregated flow in flow mode. Workload RNG streams are registered in
+	// deployment order either way.
+	var clients []*client.Client
+	var gens []*workload.Generator
+	var flows []*client.FlowClient
+	var flowGens []*workload.Flow
+	var all []chain.Address
+	if cfg.Flows == 0 {
+		clients = make([]*client.Client, cfg.Clients)
+		gens = make([]*workload.Generator, cfg.Clients)
+		accountSets := workload.Accounts(cfg.Clients, cfg.AccountsPerClient)
+		all = workload.AllAccounts(accountSets)
+		for i := range clients {
+			gen := workload.NewGenerator(uint32(i), accountSets[i], all,
+				sched.RNG(fmt.Sprintf("workload/%d", i)))
+			gens[i] = gen
+			clients[i] = client.New(client.Config{
+				Index:      uint32(i),
+				Endpoints:  cfg.clientEndpoints(i),
+				Rate:       cfg.RatePerClient,
+				Profile:    cfg.Profile,
+				Stop:       cfg.Duration,
+				RetryAfter: cfg.RetryAfter,
+				MaxRetries: cfg.MaxRetries,
+			}, gen)
+			net.AddNode(simnet.NodeID(lay.clientBase+i), clients[i])
+		}
+	} else {
+		spans := cfg.flowSpans()
+		totalAccts := 0
+		for _, sp := range spans {
+			totalAccts += sp.accts
+		}
+		all = make([]chain.Address, totalAccts)
+		for i := range all {
+			all[i] = chain.Address(i)
+		}
+		pool := make([]simnet.NodeID, cfg.clientFacing())
+		for i := range pool {
+			pool[i] = simnet.NodeID(i)
+		}
+		flows = make([]*client.FlowClient, cfg.Flows)
+		flowGens = make([]*workload.Flow, cfg.Flows)
+		for i, sp := range spans {
+			fl, err := workload.NewFlow(uint32(sp.start), sp.clients, cfg.AccountsPerClient,
+				chain.Address(sp.acctBase), sp.accts, totalAccts,
+				sched.RNG(fmt.Sprintf("workload/flow/%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			flowGens[i] = fl
+			flows[i] = client.NewFlow(client.FlowConfig{
+				Endpoints:  pool,
+				Start:      sp.start,
+				Fanout:     cfg.Fanout,
+				Rate:       cfg.RatePerClient,
+				Stop:       cfg.Duration,
+				Profile:    cfg.Profile,
+				RetryAfter: cfg.RetryAfter,
+				MaxRetries: cfg.MaxRetries,
+			}, fl)
+			net.AddNode(simnet.NodeID(lay.clientBase+i), flows[i])
+		}
 	}
 
-	// Optional credence.js-style verified readers (§9).
+	// Optional credence.js-style verified readers (§9): one per client
+	// endpoint (per client classically, per flow in flow mode).
 	var readers []*client.VerifiedReader
 	if cfg.ReadRate > 0 {
+		facing := cfg.clientFacing()
 		fanout := cfg.System.Tolerance(cfg.Validators) + 1
-		if fanout > cfg.Clients {
-			fanout = cfg.Clients
+		if fanout > facing {
+			fanout = facing
 		}
-		for i := 0; i < cfg.Clients; i++ {
+		for i := 0; i < cfg.clientNodes(); i++ {
 			eps := make([]simnet.NodeID, fanout)
 			for j := range eps {
-				eps[j] = simnet.NodeID((i + j) % cfg.Clients)
+				eps[j] = simnet.NodeID((i + j) % facing)
 			}
 			r := client.NewVerifiedReader(client.ReaderConfig{
 				Endpoints: eps,
@@ -439,7 +635,7 @@ func Build(cfg Config) (*Experiment, error) {
 				Stop:      cfg.Duration,
 			})
 			readers = append(readers, r)
-			net.AddNode(simnet.NodeID(readerIDBase+i), r)
+			net.AddNode(simnet.NodeID(lay.readerBase+i), r)
 		}
 	}
 
@@ -453,6 +649,8 @@ func Build(cfg Config) (*Experiment, error) {
 		bases:      bases,
 		clients:    clients,
 		gens:       gens,
+		flows:      flows,
+		flowGens:   flowGens,
 		readers:    readers,
 		observers:  observers,
 		primary:    primary,
@@ -485,6 +683,9 @@ func (e *Experiment) Start() {
 				pending := 0
 				for _, cl := range e.clients {
 					pending += cl.PendingCount()
+				}
+				for _, fl := range e.flows {
+					pending += fl.PendingCount()
 				}
 				rec.Gauge(now, "mempool_depth", float64(depth))
 				rec.Gauge(now, "client_pending", float64(pending))
@@ -562,6 +763,11 @@ func (e *Experiment) Collect() *RunResult {
 		res.Submitted += cl.Submitted()
 		res.Pending += cl.PendingCount()
 	}
+	for _, fl := range e.flows {
+		res.Latencies = append(res.Latencies, fl.Latencies()...)
+		res.Submitted += fl.Submitted()
+		res.Pending += fl.PendingCount()
+	}
 	for _, r := range e.readers {
 		res.ReadLatencies = append(res.ReadLatencies, r.Latencies()...)
 		res.Reads += r.Reads()
@@ -600,7 +806,7 @@ func (c Config) compileScenario() (*scenario.Compiled, error) {
 	sched := sim.New(c.Seed)
 	return c.Scenario.Compile(scenario.Env{
 		Validators: c.Validators,
-		Clients:    c.Clients,
+		Clients:    c.clientFacing(),
 		RNG: func(name string) *rand.Rand {
 			return sched.RNG("scenario/" + name)
 		},
@@ -696,6 +902,14 @@ func RestampRun(rec *metrics.Recorder, cfg Config, faulty []simnet.NodeID, compi
 // fail for lack of balance.
 func genesisAccounts(cfg Config) []chain.GenesisAccount {
 	total := cfg.Clients * cfg.AccountsPerClient
+	if cfg.Flows > 0 {
+		// Flow mode funds the folded account layout, so genesis (and every
+		// validator's ledger) stays bounded regardless of modeled clients.
+		total = 0
+		for _, sp := range cfg.flowSpans() {
+			total += sp.accts
+		}
+	}
 	out := make([]chain.GenesisAccount, total)
 	for i := range out {
 		out[i] = chain.GenesisAccount{Addr: chain.Address(i), Balance: 1 << 40}

@@ -73,6 +73,12 @@ func (e *Experiment) forkSet() (*snapshot.Set, error) {
 	for _, g := range e.gens {
 		set.Add(g)
 	}
+	for _, fl := range e.flows {
+		set.Add(fl)
+	}
+	for _, fg := range e.flowGens {
+		set.Add(fg)
+	}
 	for _, r := range e.readers {
 		set.Add(r)
 	}

@@ -125,8 +125,8 @@ func AlteredConfig(cfg Config) Config {
 	cfg = cfg.withDefaults()
 	if cfg.Fault.Kind == FaultSecureClient {
 		cfg.Fanout = cfg.System.Tolerance(cfg.Validators) + 1
-		if cfg.Fanout > cfg.Clients {
-			cfg.Fanout = cfg.Clients
+		if facing := cfg.clientFacing(); cfg.Fanout > facing {
+			cfg.Fanout = facing
 		}
 		if scaler, ok := cfg.System.(ResourceScaler); ok {
 			cfg.System = scaler.WithResources(SecureResourceScale)

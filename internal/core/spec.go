@@ -23,17 +23,28 @@ import (
 //	  "profile": {"kind": "burst", "periodSec": 60, "burstSec": 10, "factor": 2}
 //	}
 type Spec struct {
-	System            string       `json:"system"`
-	Seed              int64        `json:"seed,omitempty"`
-	Validators        int          `json:"validators,omitempty"`
-	Clients           int          `json:"clients,omitempty"`
-	RatePerClient     float64      `json:"ratePerClient,omitempty"`
-	AccountsPerClient int          `json:"accountsPerClient,omitempty"`
-	DurationSec       float64      `json:"durationSec,omitempty"`
-	Fanout            int          `json:"fanout,omitempty"`
-	ReadRate          float64      `json:"readRate,omitempty"`
-	RetryAfterSec     float64      `json:"retryAfterSec,omitempty"`
-	Fault             FaultSpec    `json:"fault,omitempty"`
+	System            string  `json:"system"`
+	Seed              int64   `json:"seed,omitempty"`
+	Validators        int     `json:"validators,omitempty"`
+	Clients           int     `json:"clients,omitempty"`
+	RatePerClient     float64 `json:"ratePerClient,omitempty"`
+	AccountsPerClient int     `json:"accountsPerClient,omitempty"`
+	DurationSec       float64 `json:"durationSec,omitempty"`
+	Fanout            int     `json:"fanout,omitempty"`
+	ReadRate          float64 `json:"readRate,omitempty"`
+	RetryAfterSec     float64 `json:"retryAfterSec,omitempty"`
+	// Flows switches the workload to aggregated flow generators: Clients
+	// then counts modeled clients and may exceed Validators. See
+	// Config.Flows / Config.FlowAccounts.
+	Flows        int `json:"flows,omitempty"`
+	FlowAccounts int `json:"flowAccounts,omitempty"`
+	// CommitteeSize enables sortition committees of this size on systems
+	// that support them (Algorand). See Config.CommitteeSize.
+	CommitteeSize int `json:"committeeSize,omitempty"`
+	// DisableConnLayer skips the O(n^2) managed connection layer; used by
+	// 10k-node scale runs. See Config.DisableConnLayer.
+	DisableConnLayer bool      `json:"disableConnLayer,omitempty"`
+	Fault            FaultSpec `json:"fault,omitempty"`
 	// Scenario composes a multi-phase fault timeline instead of the single
 	// fault plan above; mutually exclusive with a non-empty fault kind.
 	Scenario *scenario.Spec `json:"scenario,omitempty"`
@@ -99,6 +110,10 @@ func (s Spec) Config(resolve func(string) (chain.System, error)) (Config, error)
 		Fanout:            s.Fanout,
 		ReadRate:          s.ReadRate,
 		RetryAfter:        secs(s.RetryAfterSec),
+		Flows:             s.Flows,
+		FlowAccounts:      s.FlowAccounts,
+		CommitteeSize:     s.CommitteeSize,
+		DisableConnLayer:  s.DisableConnLayer,
 	}
 	cfg.Fault = FaultPlan{
 		Count:     s.Fault.Count,

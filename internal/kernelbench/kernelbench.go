@@ -41,6 +41,18 @@ type Entry struct {
 	Speedup float64 `json:"speedup,omitempty"`
 	// WallSeconds is the total measured wall time of all iterations.
 	WallSeconds float64 `json:"wall_seconds"`
+	// Scale-suite deployment coordinates and measurements (BENCH_scale):
+	// the cell's deployment, its simulated event and commit counts, and
+	// the per-round per-node message cost whose flatness across validator
+	// counts is the committee scale claim.
+	Validators          int     `json:"validators,omitempty"`
+	Committee           int     `json:"committee,omitempty"`
+	Flows               int     `json:"flows,omitempty"`
+	ModeledClients      int     `json:"modeled_clients,omitempty"`
+	Rounds              int     `json:"rounds,omitempty"`
+	SimEvents           uint64  `json:"sim_events,omitempty"`
+	Commits             int     `json:"commits,omitempty"`
+	MsgsPerRoundPerNode float64 `json:"msgs_per_round_per_node,omitempty"`
 }
 
 // Report is the full benchmark run written to BENCH_kernel.json.
@@ -64,6 +76,9 @@ type Options struct {
 	// SkipFigures / SkipMicro restrict the suite (used by smoke tests).
 	SkipFigures bool
 	SkipMicro   bool
+	// Short caps the scale suite's node counts at 512 validators, the
+	// smoke-run analogue of `go test -short`.
+	Short bool
 	// Progress, when set, is called with each benchmark's name before it
 	// runs (for live CLI feedback on stderr).
 	Progress func(name string)
@@ -284,8 +299,13 @@ func (r *Report) WriteText(w io.Writer) error {
 		if e.Speedup > 0 {
 			speedup = fmt.Sprintf("  %.2fx vs replay", e.Speedup)
 		}
-		if _, err := fmt.Fprintf(w, "  %-26s %12.0f ns/op %8d allocs/op %10d B/op%s%s\n",
-			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, rate, speedup); err != nil {
+		scale := ""
+		if e.MsgsPerRoundPerNode > 0 {
+			scale = fmt.Sprintf("  %6.1f msgs/round/node %6d rounds %8d commits",
+				e.MsgsPerRoundPerNode, e.Rounds, e.Commits)
+		}
+		if _, err := fmt.Fprintf(w, "  %-26s %12.0f ns/op %8d allocs/op %10d B/op%s%s%s\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, rate, speedup, scale); err != nil {
 			return err
 		}
 	}

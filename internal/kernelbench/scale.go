@@ -1,0 +1,136 @@
+package kernelbench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stabl"
+)
+
+// The scale suite measures the scale axis end to end: committee-mode
+// Algorand deployments at 512, 2048 and 10240 validators driven by
+// flow-aggregated workloads, plus a committee-size sensitivity sweep at
+// fixed deployment size. The headline metric is messages per round per
+// node: with sortition committees it must track the committee size and stay
+// flat as the validator count grows twentyfold, while full-membership
+// voting would grow it linearly with n. Reports are committed as
+// BENCH_scale.json via `stabl bench -scale-out` (`make bench-scale`).
+
+// scaleCell is one deployment point of the scale grid.
+type scaleCell struct {
+	name       string
+	validators int
+	committee  int
+	clients    int // modeled clients, spread over scaleFlows generators
+}
+
+// Fixed workload shape shared by every cell, so differences between cells
+// are attributable to the swept dimension alone. The per-client rate and
+// virtual duration put exactly one flow burst (at t=20s) inside the
+// horizon: enough traffic to commit blocks at every size without the
+// O(n)-per-tx mempool gossip dominating the 10k-node cells.
+const (
+	scaleFlows    = 8
+	scaleAccounts = 256
+	scaleRate     = 0.05
+	scaleDuration = 30 * time.Second
+)
+
+// scaleCells lays out the grid: a committee-size sweep at fixed n, then
+// node-count sweeps at two flow sizes. short caps the validator count at
+// 512, keeping smoke runs to the sub-second cells.
+func scaleCells(short bool) []scaleCell {
+	var cells []scaleCell
+	for _, committee := range []int{16, 32, 64, 128} {
+		cells = append(cells, scaleCell{
+			name:       fmt.Sprintf("Scale/n512/c%d/k1024", committee),
+			validators: 512, committee: committee, clients: 1024,
+		})
+	}
+	for _, n := range []int{512, 2048, 10240} {
+		if short && n > 512 {
+			continue
+		}
+		for _, clients := range []int{1024, 4096} {
+			cells = append(cells, scaleCell{
+				name:       fmt.Sprintf("Scale/n%d/c64/k%d", n, clients),
+				validators: n, committee: 64, clients: clients,
+			})
+		}
+	}
+	return cells
+}
+
+// scaleConfig materializes one cell: committee-mode Algorand, flow
+// workload, managed connection layer off (it is O(n^2) state the protocol
+// never reads — see core.Config.DisableConnLayer).
+func scaleConfig(c scaleCell) stabl.Config {
+	return stabl.Config{
+		System:           stabl.NewAlgorand(),
+		Seed:             42,
+		Validators:       c.validators,
+		Clients:          c.clients,
+		Flows:            scaleFlows,
+		FlowAccounts:     scaleAccounts,
+		RatePerClient:    scaleRate,
+		CommitteeSize:    c.committee,
+		Duration:         scaleDuration,
+		DisableConnLayer: true,
+	}
+}
+
+// RunScale executes the scale suite. Every cell is one deterministic
+// fault-free run; when testing.Benchmark re-enters a fast cell, each
+// iteration must reproduce the first one's event count exactly — the
+// suite doubles as a determinism witness at scale.
+func RunScale(opts Options) (*Report, error) {
+	rep := newReportHeader(scaleDuration)
+	for _, cell := range scaleCells(opts.Short) {
+		if opts.Progress != nil {
+			opts.Progress(cell.name)
+		}
+		var (
+			last   *stabl.RunResult
+			runErr error
+			drift  bool
+		)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := stabl.Run(scaleConfig(cell))
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				if last != nil && r.Events != last.Events {
+					drift = true
+				}
+				last = r
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("kernelbench: %s: %w", cell.name, runErr)
+		}
+		if drift {
+			return nil, fmt.Errorf("kernelbench: %s: event count drifted between identical runs", cell.name)
+		}
+		e := newEntry(cell.name, "scale", res)
+		e.Validators = cell.validators
+		e.Committee = cell.committee
+		e.Flows = scaleFlows
+		e.ModeledClients = cell.clients
+		e.SimEvents = last.Events
+		e.Commits = last.UniqueCommits
+		e.Rounds = last.MaxHeight
+		if last.MaxHeight > 0 {
+			e.MsgsPerRoundPerNode = float64(last.NetStats.Sent) /
+				float64(last.MaxHeight) / float64(cell.validators)
+		}
+		if sec := res.T.Seconds(); sec > 0 {
+			e.EventsPerSec = float64(last.Events) * float64(res.N) / sec
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/committee"
 	"stabl/internal/metrics"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
@@ -128,7 +129,7 @@ func (s *System) NewValidator(id simnet.NodeID, peers []simnet.NodeID, mon *chai
 		n:    len(peers),
 		t:    chain.ToleranceThird(len(peers)),
 	}
-	v.quorum = v.n - v.t
+	v.quorum = committee.Quorum(v.n, v.t)
 	v.lastRootedSlot = -1
 	for _, g := range genesis {
 		v.base.Ledger.Mint(g.Addr, g.Balance)

@@ -39,3 +39,31 @@ func (g *Generator) Restore(state snapshot.State) {
 	}
 	g.seq = st.seq
 }
+
+// flowState is a Flow checkpoint: the folded nonce slice and the sequence
+// counter. As with Generator, the RNG stream position lives in the
+// scheduler, not here.
+type flowState struct {
+	nonces []uint64
+	seq    uint64
+}
+
+var _ snapshot.Forkable = (*Flow)(nil)
+
+// Snapshot captures the flow's nonce slice and sequence counter.
+func (f *Flow) Snapshot() snapshot.State {
+	return &flowState{
+		nonces: append([]uint64(nil), f.nonces...),
+		seq:    f.seq,
+	}
+}
+
+// Restore rewinds the flow to a state captured by Snapshot.
+func (f *Flow) Restore(state snapshot.State) {
+	st, ok := state.(*flowState)
+	if !ok {
+		panic("workload: Flow.Restore on foreign state")
+	}
+	f.nonces = append(f.nonces[:0], st.nonces...)
+	f.seq = st.seq
+}
