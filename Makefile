@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify verify-race specs lint bench bench-smoke bench-scale figures clean
+.PHONY: all build vet test race verify verify-race ci specs lint bench bench-smoke bench-scale bench-parallel figures clean
 
 all: verify
 
@@ -47,13 +47,18 @@ verify:
 
 # verify-race is verify with the suite under the race detector. Required
 # before committing changes to the concurrent code paths (RunSuite,
-# internal/campaign workers, internal/pool); optional but slower elsewhere.
+# internal/campaign workers, internal/pool, the parallel kernel); optional
+# but slower elsewhere.
 verify-race:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(MAKE) specs
 	$(MAKE) lint
 	$(GO) test -race -timeout 45m ./...
+
+# ci is the full merge gate: verify, verify-race, then the race-enabled
+# benchmark smoke pass. This is what .github/workflows/ci.yml runs.
+ci: verify verify-race bench-smoke
 
 # bench regenerates the committed kernel benchmark report (figures at the
 # paper's 400 virtual seconds plus the scheduler/simnet microbenchmarks).
@@ -75,6 +80,15 @@ bench-smoke:
 # at 512 validators for smoke runs; the committed report uses the default.
 bench-scale:
 	$(GO) run ./cmd/stabl bench -scale-out BENCH_scale.json $(SCALE_FLAGS)
+
+# bench-parallel regenerates the committed parallel-kernel report: the scale
+# suite's k=1024 cells rerun sequentially and at SimWorkers 1/2/4/8, with
+# byte-identity checked against the sequential reference and both wall-clock
+# and modeled (critical-path) speedups reported (see
+# internal/kernelbench/parallel.go). SCALE_FLAGS=-scale-short caps it at 512
+# validators for smoke runs; the committed report uses the default.
+bench-parallel:
+	$(GO) run ./cmd/stabl bench -parallel-out BENCH_parallel.json $(SCALE_FLAGS)
 
 # figures regenerates every SVG artifact of the paper into ./out.
 figures:

@@ -28,7 +28,9 @@
 //	                -lo, -hi) to the pass/fail tolerance boundary of
 //	                -system; -shrink minimizes the failing scenario
 //	bench           kernel benchmark suite, written to BENCH_kernel.json,
-//	                plus the fork-vs-replay suite in BENCH_fork.json
+//	                plus the fork-vs-replay suite in BENCH_fork.json;
+//	                -scale-out runs the committee scale suite instead,
+//	                -parallel-out the parallel-kernel speedup suite
 //	lint            determinism static analysis: stabl lint [packages]
 //
 // Flags select the system, fault, seed and deployment size, and may come
@@ -107,7 +109,9 @@ func run(args []string, out io.Writer) error {
 		forkOut    = fs.String("fork-out", "BENCH_fork.json", "fork-vs-replay report file for the bench command")
 		benchFull  = fs.Bool("bench-full", false, "bench command: also replay the Fig 7 matrix (40 runs; slow)")
 		scaleOut   = fs.String("scale-out", "", "bench command: run only the scale suite (committee-mode Algorand at 512-10240 validators with flow workloads) and write its report to this file")
-		scaleShort = fs.Bool("scale-short", false, "bench command: cap the scale suite at 512 validators (smoke runs)")
+		scaleShort = fs.Bool("scale-short", false, "bench command: cap the scale and parallel suites at 512 validators (smoke runs)")
+		parOut     = fs.String("parallel-out", "", "bench command: run only the parallel-kernel suite (sequential vs SimWorkers 1/2/4/8 on the scale cells) and write its report to this file")
+		simWorkers = fs.Int("sim-workers", 0, "run the simulation on the conservative parallel kernel with this many partition queues (0 = sequential; outputs are byte-identical either way)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile to this file when the command finishes")
 	)
@@ -171,6 +175,7 @@ func run(args []string, out io.Writer) error {
 		Flows:            *flows,
 		FlowAccounts:     *flowAccts,
 		DisableConnLayer: *noConn,
+		SimWorkers:       *simWorkers,
 		Fault:            stabl.FaultPlan{InjectAt: *inject, RecoverAt: *recover},
 	}
 
@@ -360,6 +365,35 @@ func run(args []string, out io.Writer) error {
 		}
 		return res.WriteText(out)
 	case "bench":
+		if *parOut != "" {
+			// The parallel suite, like the scale suite, replaces the
+			// figure/micro/fork suites: it reruns the scale cells under
+			// every worker count and checks byte-identity against the
+			// sequential reference.
+			pf, err := os.Create(*parOut)
+			if err != nil {
+				return err
+			}
+			parRep, err := kernelbench.RunParallel(kernelbench.Options{
+				Short:    *scaleShort,
+				Progress: func(name string) { fmt.Fprintln(os.Stderr, "bench:", name) },
+			})
+			if err != nil {
+				pf.Close()
+				return err
+			}
+			if err := parRep.WriteJSON(pf); err != nil {
+				pf.Close()
+				return err
+			}
+			if err := pf.Close(); err != nil {
+				return err
+			}
+			if *jsonOut {
+				return parRep.WriteJSON(out)
+			}
+			return parRep.WriteText(out)
+		}
 		if *scaleOut != "" {
 			// The scale suite replaces the figure/micro/fork suites: its
 			// 10k-validator cells are a different cost regime and get

@@ -32,10 +32,10 @@ func TestGoldenCommitteeSeed42(t *testing.T) {
 		t.Skip("committee golden skipped in -short mode")
 	}
 	const (
-		wantScore    = 3.0391185258535742
-		wantBaseline = 188607
-		wantAltered  = 189242
-		wantEvents   = 9032263
+		wantScore    = 3.0385571681782935
+		wantBaseline = 188619
+		wantAltered  = 189250
+		wantEvents   = 9032194
 	)
 	cmp, err := Compare(committeeGoldenConfig())
 	if err != nil {

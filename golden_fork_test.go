@@ -104,6 +104,47 @@ func TestGoldenForkMatchesReplay(t *testing.T) {
 	}
 }
 
+// TestGoldenForkParallelFallback pins the parallel kernel's fork semantics:
+// checkpoints snapshot the sequential layout, so forking a parallel-configured
+// experiment before Start deterministically falls back to the sequential
+// kernel and the forked continuation stays byte-identical to a plain
+// sequential replay. Forking after Start is a hard error, not silent drift.
+func TestGoldenForkParallelFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fork parallel-fallback golden skipped in -short mode")
+	}
+	sys, err := SystemByName("Redbelly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(forkGoldenConfig(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := forkGoldenConfig(sys)
+	cfg.SimWorkers = 2
+	_, _, got := runForked(t, cfg)
+	if got.SimWorkers != 0 {
+		t.Errorf("forked run reported SimWorkers=%d, want 0 (fork must sequentialize)", got.SimWorkers)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("forked parallel-configured run diverged from sequential replay:\nreplay: %+v\nforked: %+v", want, got)
+	}
+
+	// Once a parallel run has started, its queues hold partition events and
+	// the sequential fallback is closed: Fork must refuse.
+	running, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running.Start()
+	running.RunUntil(10 * time.Second)
+	if _, err := running.Fork(); err == nil {
+		t.Error("Fork on a started parallel experiment succeeded, want error")
+	}
+}
+
 // TestForkDivergeIndependence steers a forked continuation onto a sibling
 // fault schedule (a larger kill set), checks it matches a from-scratch run of
 // the sibling config, then rewinds and re-runs the original schedule to prove

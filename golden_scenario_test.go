@@ -25,12 +25,12 @@ func TestGoldenScenarioSeed42(t *testing.T) {
 		altered  int
 		events   uint64
 	}{
-		{"cascade", "Redbelly", 46.478181554729247, 23890, 23902, 183029},
-		{"cascade", "Algorand", 144.9111227285656, 23593, 22854, 277024},
-		{"flap", "Redbelly", 11.731280873284817, 23890, 23895, 196596},
-		{"flap", "Algorand", 66.463353693062572, 23593, 23557, 285800},
-		{"lossy-wan", "Redbelly", 64.452424525005426, 23890, 23932, 167905},
-		{"lossy-wan", "Algorand", 204.75828807292032, 23593, 23192, 309473},
+		{"cascade", "Redbelly", 0.14263661818738038, 23922, 23913, 212748},
+		{"cascade", "Algorand", 153.46728509622864, 23598, 22860, 290976},
+		{"flap", "Redbelly", 11.874701065847219, 23922, 23939, 196226},
+		{"flap", "Algorand", 66.422564035116636, 23598, 23558, 285787},
+		{"lossy-wan", "Redbelly", 61.071133766103458, 23922, 23820, 164466},
+		{"lossy-wan", "Algorand", 207.77541369909034, 23598, 23382, 312796},
 	}
 	systems := map[string]func() System{
 		"Redbelly": NewRedbelly,

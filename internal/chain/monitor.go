@@ -2,9 +2,11 @@ package chain
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"stabl/internal/metrics"
+	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
 
@@ -29,6 +31,26 @@ type Monitor struct {
 	lastHash   Hash
 	integrity  []string
 	rec        *metrics.Recorder
+	// Parallel-mode buffering (nil sched = sequential, the default). The
+	// monitor is cross-cutting state every validator writes, so in parallel
+	// mode reports made inside a lookahead window are buffered per queue,
+	// stamped with the reporting event's key, and merged at the next
+	// barrier in global key order — the exact order the sequential kernel
+	// would have applied them in.
+	sched   *sim.Scheduler
+	queueOf []int32
+	buf     [][]monEntry
+	scratch []monEntry
+}
+
+// monEntry is one buffered report: either a block application or a
+// consensus event, keyed by the partition event that made it.
+type monEntry struct {
+	key   sim.EventKey
+	block bool
+	b     Block
+	now   time.Duration
+	ev    metrics.Event
 }
 
 // NewMonitor creates an empty monitor.
@@ -44,9 +66,83 @@ func (m *Monitor) SetMetrics(rec *metrics.Recorder) { m.rec = rec }
 // Metrics returns the attached recorder, if any.
 func (m *Monitor) Metrics() *metrics.Recorder { return m.rec }
 
+// EnableParallel switches the monitor to buffered mode for the parallel
+// kernel: queueOf maps node ids to partition queues (see internal/parsim)
+// and the flush merge registers as a barrier hook. Must be paired with the
+// scheduler's and network's EnableParallel.
+func (m *Monitor) EnableParallel(sched *sim.Scheduler, queueOf []int32, workers int) {
+	if m.sched != nil {
+		panic("chain: Monitor.EnableParallel called twice")
+	}
+	m.sched = sched
+	m.queueOf = append([]int32(nil), queueOf...)
+	m.buf = make([][]monEntry, workers+1)
+	sched.OnBarrier(m.flush)
+}
+
+// DisableParallel reverts to direct application, the sequential fallback the
+// forking API takes. Buffers must be empty (they always are at a barrier).
+func (m *Monitor) DisableParallel() {
+	for _, b := range m.buf {
+		if len(b) != 0 {
+			panic("chain: Monitor.DisableParallel with buffered reports")
+		}
+	}
+	m.sched = nil
+	m.queueOf = nil
+	m.buf = nil
+}
+
+// queueIdx resolves the reporting node's partition queue — the queue whose
+// execution context is making the call, so each buffer has one writer.
+func (m *Monitor) queueIdx(id simnet.NodeID) int32 {
+	if id >= 0 && int(id) < len(m.queueOf) {
+		return m.queueOf[id]
+	}
+	return 0
+}
+
+// flush merges all buffered reports in global event-key order and applies
+// them. Runs as a barrier hook with every partition quiesced; keys are
+// unique across queues (each is an executing event's key), and the stable
+// sort keeps same-key reports — multiple calls from one event — in call
+// order.
+func (m *Monitor) flush() {
+	merged := m.scratch[:0]
+	for _, b := range m.buf {
+		merged = append(merged, b...)
+	}
+	if len(merged) == 0 {
+		return
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].key.Less(merged[j].key) })
+	for i := range merged {
+		e := &merged[i]
+		if e.block {
+			m.applyBlock(e.b, e.now)
+		} else {
+			m.applyEvent(e.ev)
+		}
+		*e = monEntry{}
+	}
+	m.scratch = merged[:0]
+	for i := range m.buf {
+		m.buf[i] = m.buf[i][:0]
+	}
+}
+
 // ConsensusEvent forwards a protocol event from a validator to the attached
 // recorder; it is the single funnel every chain model emits through.
 func (m *Monitor) ConsensusEvent(ev metrics.Event) {
+	if m.sched != nil && m.sched.InWindow() {
+		qi := m.queueIdx(ev.Node)
+		m.buf[qi] = append(m.buf[qi], monEntry{key: m.sched.ExecKey(int32(ev.Node)), ev: ev})
+		return
+	}
+	m.applyEvent(ev)
+}
+
+func (m *Monitor) applyEvent(ev metrics.Event) {
 	if m.rec != nil {
 		m.rec.AddEvent(ev)
 	}
@@ -54,7 +150,16 @@ func (m *Monitor) ConsensusEvent(ev metrics.Event) {
 
 // RecordBlock registers a block applied by a validator. Blocks already seen
 // (applied by another validator first) only update nothing.
-func (m *Monitor) RecordBlock(_ simnet.NodeID, b Block, now time.Duration) {
+func (m *Monitor) RecordBlock(id simnet.NodeID, b Block, now time.Duration) {
+	if m.sched != nil && m.sched.InWindow() {
+		qi := m.queueIdx(id)
+		m.buf[qi] = append(m.buf[qi], monEntry{key: m.sched.ExecKey(int32(id)), block: true, b: b, now: now})
+		return
+	}
+	m.applyBlock(b, now)
+}
+
+func (m *Monitor) applyBlock(b Block, now time.Duration) {
 	if b.Height <= m.maxHeight {
 		return
 	}

@@ -35,6 +35,13 @@ type FlowConfig struct {
 	RetryAfter time.Duration
 	// MaxRetries bounds resubmissions per transaction.
 	MaxRetries int
+	// VirtualBase is the node id member 0 would hold in the classic
+	// per-client layout. Each member m submits via Context.SendAs with
+	// virtual id VirtualBase+m, so its latency/loss/jitter draws come from
+	// the exact streams the individual client node would have consumed —
+	// that is what keeps flow trajectories byte-identical to classic ones
+	// under the network's per-sender-node RNG streams.
+	VirtualBase simnet.NodeID
 }
 
 // FlowClient drives the aggregated workload of k modeled clients through a
@@ -167,8 +174,9 @@ func (c *FlowClient) submitRound(now time.Duration) {
 		}
 		c.submitted++
 		eps := c.endpoints(uint32(m), epBuf[:0])
+		virtual := c.cfg.VirtualBase + simnet.NodeID(m)
 		for _, ep := range eps {
-			c.ctx.Send(ep, chain.SubmitTx{Tx: tx})
+			c.ctx.SendAs(virtual, ep, chain.SubmitTx{Tx: tx})
 		}
 	}
 }
@@ -225,11 +233,12 @@ func (c *FlowClient) checkRetries() {
 		p.retries++
 		c.retried++
 		p.retryAt = now + c.cfg.RetryAfter
-		member := uint32(p.tx.ID >> 32)
-		eps := c.endpoints(member-uint32(c.flowStart()), epBuf[:0])
+		member := uint32(p.tx.ID >> 32) - uint32(c.flowStart())
+		eps := c.endpoints(member, epBuf[:0])
+		virtual := c.cfg.VirtualBase + simnet.NodeID(member)
 		for _, ep := range eps {
 			if !p.confirmed[ep] {
-				c.ctx.Send(ep, chain.SubmitTx{Tx: p.tx})
+				c.ctx.SendAs(virtual, ep, chain.SubmitTx{Tx: p.tx})
 			}
 		}
 	}

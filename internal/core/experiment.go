@@ -14,6 +14,7 @@ import (
 	"stabl/internal/client"
 	"stabl/internal/metrics"
 	"stabl/internal/observer"
+	"stabl/internal/parsim"
 	"stabl/internal/scenario"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
@@ -161,6 +162,18 @@ type Config struct {
 	LivenessGrace time.Duration
 	// Bucket is the throughput series granularity.
 	Bucket time.Duration
+	// SimWorkers, when positive, runs the simulation on the conservative
+	// parallel kernel with this many partition queues (internal/sim's
+	// EnableParallel): validators, clients and readers are spread over the
+	// queues (internal/parsim) and advanced concurrently in lookahead
+	// windows bounded by the latency model's static lower bound. Every
+	// measured output is byte-identical to the sequential kernel at every
+	// worker count — the parallel goldens enforce this — so the knob only
+	// trades wall-clock time, never results. Zero (the default) keeps the
+	// sequential kernel. Runs whose latency model has no positive lower
+	// bound (no DelayLowerBound) fall back to sequential, as do forked
+	// continuations (checkpoints snapshot the sequential layout).
+	SimWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -214,6 +227,9 @@ func (c Config) Validate() error {
 func (c Config) validate() error {
 	if c.System == nil {
 		return fmt.Errorf("core: config needs a System")
+	}
+	if c.SimWorkers < 0 {
+		return fmt.Errorf("core: negative sim worker count %d", c.SimWorkers)
 	}
 	if c.Flows < 0 {
 		return fmt.Errorf("core: negative flow count %d", c.Flows)
@@ -432,6 +448,15 @@ type RunResult struct {
 	// across the committed block sequence; always empty for a correct
 	// deployment.
 	IntegrityErrors []string
+	// Parallel-kernel measurements (zero when the run was sequential).
+	// SimWindows counts lookahead windows; SimBusyWall sums every queue's
+	// wall-clock execution time and SimCriticalWall each window's slowest
+	// queue plus all root-event time — BusyWall/CriticalWall is the
+	// speedup the partition plan would reach with enough cores.
+	SimWorkers      int
+	SimWindows      uint64
+	SimBusyWall     time.Duration
+	SimCriticalWall time.Duration
 }
 
 // Experiment is a built but not-yet-finished run: the deployed network, the
@@ -609,6 +634,9 @@ func Build(cfg Config) (*Experiment, error) {
 				Profile:    cfg.Profile,
 				RetryAfter: cfg.RetryAfter,
 				MaxRetries: cfg.MaxRetries,
+				// Member m's draws replay the streams of the node id the
+				// classic layout would give client sp.start+m.
+				VirtualBase: simnet.NodeID(lay.clientBase + sp.start),
 			}, fl)
 			net.AddNode(simnet.NodeID(lay.clientBase+i), flows[i])
 		}
@@ -636,6 +664,47 @@ func Build(cfg Config) (*Experiment, error) {
 			})
 			readers = append(readers, r)
 			net.AddNode(simnet.NodeID(lay.readerBase+i), r)
+		}
+	}
+
+	// Parallel kernel: partition the deployment and switch the scheduler,
+	// network and monitor over together. Enabled last so every endpoint is
+	// registered; runs whose latency model states no positive lower bound
+	// stay sequential (the conservative kernel needs a lookahead).
+	if cfg.SimWorkers > 0 {
+		if la := net.Lookahead(); la > 0 {
+			plan := parsim.New(cfg.SimWorkers)
+			vals := make([]int, cfg.Validators)
+			for i := range vals {
+				vals[i] = i
+			}
+			plan.Spread(vals)
+			cls := make([]int, cfg.clientNodes())
+			for i := range cls {
+				cls[i] = lay.clientBase + i
+			}
+			plan.Spread(cls)
+			if len(readers) > 0 {
+				rds := make([]int, len(readers))
+				for i := range rds {
+					rds[i] = lay.readerBase + i
+				}
+				plan.Spread(rds)
+			}
+			// Observers and the primary go on the root queue: they reach
+			// across the whole deployment and must only run at window
+			// barriers. Pinning them explicitly also sizes the lane table
+			// to cover every deployed id (the primary's is the largest).
+			obs := make([]int, 0, cfg.Validators+1)
+			for i := 0; i < cfg.Validators; i++ {
+				obs = append(obs, lay.observerBase+i)
+			}
+			obs = append(obs, lay.primary)
+			plan.Root(obs)
+			table := plan.Table()
+			sched.EnableParallel(table, cfg.SimWorkers, la)
+			net.EnableParallel(table, cfg.SimWorkers)
+			monitor.EnableParallel(sched, table, cfg.SimWorkers)
 		}
 	}
 
@@ -752,6 +821,13 @@ func (e *Experiment) Collect() *RunResult {
 		FaultyNodes:     e.faulty,
 		Events:          e.sched.Fired(),
 		NetStats:        e.net.Stats(),
+	}
+	if e.sched.Parallel() {
+		ps := e.sched.ParallelStats()
+		res.SimWorkers = e.sched.Workers()
+		res.SimWindows = ps.Windows
+		res.SimBusyWall = ps.BusyWall
+		res.SimCriticalWall = ps.CriticalWall
 	}
 	times := make([]time.Duration, 0, e.monitor.UniqueCommits())
 	for _, ev := range e.monitor.Commits() {

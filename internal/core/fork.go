@@ -57,6 +57,19 @@ func (e *Experiment) forkSet() (*snapshot.Set, error) {
 	if e.forkable != nil {
 		return e.forkable, nil
 	}
+	// Checkpoints snapshot the sequential layout (one event queue, one
+	// delivery pool), so a parallel experiment deterministically falls back
+	// to the sequential kernel before its first fork — output is identical
+	// either way, only wall-clock time differs. Once a parallel run has
+	// started its queues hold partition events and the fallback is closed.
+	if e.sched.Parallel() {
+		if e.started {
+			return nil, fmt.Errorf("core: cannot fork a running parallel simulation; fork before Start or set SimWorkers=0")
+		}
+		e.monitor.DisableParallel()
+		e.net.DisableParallel()
+		e.sched.DisableParallel()
+	}
 	set := &snapshot.Set{}
 	set.Add(e.sched, e.net, e.monitor)
 	for i, v := range e.validators {

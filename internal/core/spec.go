@@ -43,8 +43,12 @@ type Spec struct {
 	CommitteeSize int `json:"committeeSize,omitempty"`
 	// DisableConnLayer skips the O(n^2) managed connection layer; used by
 	// 10k-node scale runs. See Config.DisableConnLayer.
-	DisableConnLayer bool      `json:"disableConnLayer,omitempty"`
-	Fault            FaultSpec `json:"fault,omitempty"`
+	DisableConnLayer bool `json:"disableConnLayer,omitempty"`
+	// SimWorkers runs the simulation on the parallel kernel with this many
+	// partition queues; results are byte-identical to sequential. See
+	// Config.SimWorkers.
+	SimWorkers int       `json:"simWorkers,omitempty"`
+	Fault      FaultSpec `json:"fault,omitempty"`
 	// Scenario composes a multi-phase fault timeline instead of the single
 	// fault plan above; mutually exclusive with a non-empty fault kind.
 	Scenario *scenario.Spec `json:"scenario,omitempty"`
@@ -114,6 +118,7 @@ func (s Spec) Config(resolve func(string) (chain.System, error)) (Config, error)
 		FlowAccounts:      s.FlowAccounts,
 		CommitteeSize:     s.CommitteeSize,
 		DisableConnLayer:  s.DisableConnLayer,
+		SimWorkers:        s.SimWorkers,
 	}
 	cfg.Fault = FaultPlan{
 		Count:     s.Fault.Count,

@@ -53,6 +53,15 @@ type Entry struct {
 	SimEvents           uint64  `json:"sim_events,omitempty"`
 	Commits             int     `json:"commits,omitempty"`
 	MsgsPerRoundPerNode float64 `json:"msgs_per_round_per_node,omitempty"`
+	// Parallel-suite measurements (BENCH_parallel): the partition worker
+	// count, the lookahead-window count, and this run's speedup over the
+	// same cell's sequential run — measured wall clock (bounded by the
+	// host's cores) and modeled, the kernel's busy-time/critical-path
+	// ratio, which is what P free cores would realize.
+	Workers        int     `json:"workers,omitempty"`
+	Windows        uint64  `json:"windows,omitempty"`
+	WallSpeedup    float64 `json:"wall_speedup,omitempty"`
+	ModeledSpeedup float64 `json:"modeled_speedup,omitempty"`
 }
 
 // Report is the full benchmark run written to BENCH_kernel.json.
@@ -61,8 +70,11 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	// VirtualDuration is the per-run virtual time of the figure replays.
-	VirtualDuration string  `json:"virtual_duration"`
-	Entries         []Entry `json:"entries"`
+	VirtualDuration string `json:"virtual_duration"`
+	// NumCPU records the host's core count on suites whose headline number
+	// depends on it (the parallel suite's wall-clock speedups).
+	NumCPU  int     `json:"num_cpu,omitempty"`
+	Entries []Entry `json:"entries"`
 }
 
 // Options configures a benchmark run.
@@ -283,8 +295,12 @@ func (r *Report) WriteJSON(w io.Writer) error {
 
 // WriteText renders the report as an aligned human-readable table.
 func (r *Report) WriteText(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "kernel benchmark (%s %s/%s, figures at %s virtual)\n",
-		r.GoVersion, r.GOOS, r.GOARCH, r.VirtualDuration); err != nil {
+	cpus := ""
+	if r.NumCPU > 0 {
+		cpus = fmt.Sprintf(", %d cpu", r.NumCPU)
+	}
+	if _, err := fmt.Fprintf(w, "kernel benchmark (%s %s/%s, figures at %s virtual%s)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.VirtualDuration, cpus); err != nil {
 		return err
 	}
 	for _, e := range r.Entries {
@@ -303,6 +319,10 @@ func (r *Report) WriteText(w io.Writer) error {
 		if e.MsgsPerRoundPerNode > 0 {
 			scale = fmt.Sprintf("  %6.1f msgs/round/node %6d rounds %8d commits",
 				e.MsgsPerRoundPerNode, e.Rounds, e.Commits)
+		}
+		if e.Workers > 0 {
+			scale = fmt.Sprintf("  %5.2fx wall %5.2fx modeled %8d windows",
+				e.WallSpeedup, e.ModeledSpeedup, e.Windows)
 		}
 		if _, err := fmt.Fprintf(w, "  %-26s %12.0f ns/op %8d allocs/op %10d B/op%s%s%s\n",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, rate, speedup, scale); err != nil {

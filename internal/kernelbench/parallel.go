@@ -1,0 +1,132 @@
+package kernelbench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"stabl"
+)
+
+// The parallel suite measures the conservative-PDES kernel against the
+// sequential baseline on the scale suite's committee-mode Algorand cells:
+// the same deployment runs once sequentially (SimWorkers=0) and once per
+// worker count P in {1, 2, 4, 8}. Every parallel run must reproduce the
+// sequential run's outputs exactly (event count, commits, height, every
+// network counter) — the suite doubles as a determinism witness at scale —
+// and each entry reports two speedups: wall-clock (honest about the host's
+// CPU count; ~1x on a single core) and modeled, the kernel's own
+// busy-time/critical-path ratio, which is the speedup a machine with P free
+// cores would realize. Reports are committed as BENCH_parallel.json via
+// `stabl bench -parallel-out` (`make bench-parallel`).
+
+// parWorkers is the swept worker-count axis. P=1 runs the full partition
+// machinery (windows, outboxes, keyed merge) on one queue, isolating the
+// coordination overhead from actual parallelism.
+var parWorkers = []int{1, 2, 4, 8}
+
+// parCells reuses the scale grid's k=1024 node-count sweep: committee-mode
+// Algorand (c=64) at 512, 2048 and 10240 validators with the shared flow
+// workload. short caps the sweep at 512 validators for smoke runs.
+func parCells(short bool) []scaleCell {
+	var cells []scaleCell
+	for _, n := range []int{512, 2048, 10240} {
+		if short && n > 512 {
+			continue
+		}
+		cells = append(cells, scaleCell{
+			name:       fmt.Sprintf("Parallel/n%d/c64/k1024", n),
+			validators: n, committee: 64, clients: 1024,
+		})
+	}
+	return cells
+}
+
+// parMismatch renders the first diverging output between a parallel run and
+// its sequential reference, or "" when they agree byte-for-byte on every
+// compared counter.
+func parMismatch(seq, par *stabl.RunResult) string {
+	switch {
+	case par.Events != seq.Events:
+		return fmt.Sprintf("events %d != %d", par.Events, seq.Events)
+	case par.UniqueCommits != seq.UniqueCommits:
+		return fmt.Sprintf("commits %d != %d", par.UniqueCommits, seq.UniqueCommits)
+	case par.MaxHeight != seq.MaxHeight:
+		return fmt.Sprintf("height %d != %d", par.MaxHeight, seq.MaxHeight)
+	case par.NetStats != seq.NetStats:
+		return fmt.Sprintf("net stats %+v != %+v", par.NetStats, seq.NetStats)
+	}
+	return ""
+}
+
+// RunParallel executes the parallel suite. Each cell-by-workers point is one
+// deterministic fault-free run; the sequential run of each cell is the
+// reference both for the speedup ratios and for the byte-identity check.
+func RunParallel(opts Options) (*Report, error) {
+	rep := newReportHeader(scaleDuration)
+	rep.NumCPU = runtime.NumCPU()
+	for _, cell := range parCells(opts.Short) {
+		var seq *stabl.RunResult
+		var seqNsPerOp float64
+		for _, workers := range append([]int{0}, parWorkers...) {
+			name := fmt.Sprintf("%s/seq", cell.name)
+			if workers > 0 {
+				name = fmt.Sprintf("%s/p%d", cell.name, workers)
+			}
+			if opts.Progress != nil {
+				opts.Progress(name)
+			}
+			var (
+				last   *stabl.RunResult
+				runErr error
+			)
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg := scaleConfig(cell)
+					cfg.SimWorkers = workers
+					r, err := stabl.Run(cfg)
+					if err != nil {
+						runErr = err
+						b.FailNow()
+					}
+					last = r
+				}
+			})
+			if runErr != nil {
+				return nil, fmt.Errorf("kernelbench: %s: %w", name, runErr)
+			}
+			e := newEntry(name, "parallel", res)
+			e.Validators = cell.validators
+			e.Committee = cell.committee
+			e.Flows = scaleFlows
+			e.ModeledClients = cell.clients
+			e.SimEvents = last.Events
+			e.Commits = last.UniqueCommits
+			e.Rounds = last.MaxHeight
+			if sec := res.T.Seconds(); sec > 0 {
+				e.EventsPerSec = float64(last.Events) * float64(res.N) / sec
+			}
+			if workers == 0 {
+				seq, seqNsPerOp = last, e.NsPerOp
+			} else {
+				if last.SimWorkers != workers {
+					return nil, fmt.Errorf("kernelbench: %s: parallel kernel did not engage (SimWorkers=%d)", name, last.SimWorkers)
+				}
+				if diff := parMismatch(seq, last); diff != "" {
+					return nil, fmt.Errorf("kernelbench: %s: parallel run diverged from sequential: %s", name, diff)
+				}
+				e.Workers = workers
+				e.Windows = last.SimWindows
+				if e.NsPerOp > 0 {
+					e.WallSpeedup = seqNsPerOp / e.NsPerOp
+				}
+				if last.SimCriticalWall > 0 {
+					e.ModeledSpeedup = float64(last.SimBusyWall) / float64(last.SimCriticalWall)
+				}
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	return rep, nil
+}

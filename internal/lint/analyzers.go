@@ -14,6 +14,7 @@ func All() []*Analyzer {
 		GlobalRand,
 		UnsortedBroadcast,
 		SnapshotMapOrder,
+		CrossPartitionState,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CrossPartitionState flags writes into another node's state: an assignment
+// whose left-hand side reaches a field through an index into a table of
+// handler-shaped values (types with Start/Deliver/Stop methods — network
+// endpoints). Under the sequential kernel such a write is merely bad
+// layering; under the parallel kernel (internal/sim's EnableParallel) the
+// peer may belong to a different partition queue executing concurrently, so
+// the write is a data race AND a determinism break — peer state may only
+// change through the message-delivery path, whose merge order is fixed by
+// event keys. The analyzer is structural: it cannot prove the indexed node
+// is a *different* node, so self-writes through a table (rare; route them
+// through a local variable or suppress with //stabl:nodet) are flagged too.
+var CrossPartitionState = &Analyzer{
+	Name: "cross-partition-state",
+	Doc:  "peer node state mutated through a handler table instead of the message-delivery path",
+	Run:  runCrossPartitionState,
+}
+
+func runCrossPartitionState(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					p.checkCrossWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				p.checkCrossWrite(n.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkCrossWrite walks the written expression's access chain outward-in; a
+// field selection above an index whose element is handler-shaped means the
+// write lands inside a peer fetched from a table.
+func (p *Pass) checkCrossWrite(lhs ast.Expr) {
+	if p.IsTestFile(lhs.Pos()) {
+		// Test rigs poke node internals directly by design.
+		return
+	}
+	sawField := false
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				sawField = true
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			if tv, ok := p.Info.Types[e]; ok && sawField && handlerShaped(tv.Type) {
+				p.Reportf(e.Pos(),
+					"write into %s reaches another node's state through a peer table; peer state must only change via the message-delivery path (send a message instead)",
+					types.ExprString(e))
+				return
+			}
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// handlerShaped reports whether t (possibly behind a pointer) has the
+// network-endpoint method shape: Start, Deliver and Stop all present in its
+// method set.
+func handlerShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		// Method sets of addressable struct values include pointer
+		// receivers.
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	var start, deliver, stop bool
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Start":
+			start = true
+		case "Deliver":
+			deliver = true
+		case "Stop":
+			stop = true
+		}
+	}
+	return start && deliver && stop
+}

@@ -16,13 +16,14 @@ import (
 // fixture; the suppress package exercises the //stabl:nodet escape hatch
 // and wallclockfree the wallclock applicability gate.
 var fixtureAnalyzers = map[string]string{
-	"maprange":      "maprange-rng",
-	"wallclock":     "wallclock",
-	"wallclockfree": "wallclock",
-	"globalrand":    "globalrand",
-	"unsorted":      "unsorted-broadcast",
-	"suppress":      "globalrand",
-	"snapshotorder": "snapshot-maporder",
+	"maprange":       "maprange-rng",
+	"wallclock":      "wallclock",
+	"wallclockfree":  "wallclock",
+	"globalrand":     "globalrand",
+	"unsorted":       "unsorted-broadcast",
+	"suppress":       "globalrand",
+	"snapshotorder":  "snapshot-maporder",
+	"crosspartition": "cross-partition-state",
 }
 
 func fixtureDirs() []string {
@@ -148,8 +149,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("Select(\"\") returned %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("Select(\"\") returned %d analyzers, want 6", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {

@@ -1,0 +1,69 @@
+// Package crosspartition seeds the cross-partition-state analyzer: node
+// state written through a peer table from outside the message-delivery
+// path. The parallel kernel executes peers concurrently inside lookahead
+// windows, so such writes race; even sequentially they bypass the keyed
+// merge order that makes runs reproducible.
+package crosspartition
+
+// node is handler-shaped: it has the Start/Deliver/Stop method set of a
+// network endpoint.
+type node struct {
+	height int
+	votes  map[int]int
+	peers  []*node
+}
+
+func (n *node) Start(ctx any)                 {}
+func (n *node) Deliver(from int, payload any) {}
+func (n *node) Stop()                         {}
+
+// gauge is NOT handler-shaped (no Deliver); writes through gauge tables are
+// ordinary single-owner state.
+type gauge struct{ value int }
+
+type cluster struct {
+	nodes  []*node
+	byID   map[int]*node
+	gauges []gauge
+}
+
+// syncBuggy reaches into a peer fetched from a slice and overwrites its
+// state directly — the shape the analyzer exists for.
+func (c *cluster) syncBuggy(target, h int) {
+	c.nodes[target].height = h // want "reaches another node's state through a peer table"
+}
+
+// tallyBuggy writes a nested structure inside a peer fetched from a map.
+func (c *cluster) tallyBuggy(target, round int) {
+	c.byID[target].votes[round]++ // want "reaches another node's state through a peer table"
+}
+
+// gossipBuggy mutates a peer reached from another node's own peer list.
+func (n *node) gossipBuggy(i, h int) {
+	n.peers[i].height = h // want "reaches another node's state through a peer table"
+}
+
+// rebindClean replaces a table entry wholesale: no field write through the
+// index, so ownership never crosses — this is deployment wiring, not a
+// cross-node mutation.
+func (c *cluster) rebindClean(i int, fresh *node) {
+	c.nodes[i] = fresh
+}
+
+// gaugeClean writes through an index of a non-handler type.
+func (c *cluster) gaugeClean(i, v int) {
+	c.gauges[i].value = v
+}
+
+// selfClean mutates the node's own state through its receiver — the normal
+// delivery-path shape.
+func (n *node) selfClean(h int) {
+	n.height = h
+}
+
+// suppressed documents a deliberate exception: a single-owner registry that
+// happens to hold handler-shaped values.
+func (c *cluster) suppressed(i, h int) {
+	//stabl:nodet cross-partition-state -- deployment-time wiring before the kernel starts
+	c.nodes[i].height = h
+}

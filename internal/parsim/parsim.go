@@ -1,0 +1,75 @@
+// Package parsim plans the partitioning of a simulated deployment onto the
+// parallel event kernel's queues (see internal/sim's EnableParallel).
+//
+// A plan maps every node id (a scheduler lane) to one of `workers` partition
+// queues, or to the root queue for cross-cutting actors. The assignment is a
+// pure function of the ids and the order they are registered in, never of
+// map iteration or timing, so the same deployment always yields the same
+// plan — a precondition for the kernel's byte-identical-output guarantee,
+// though not the mechanism (event keys are partition-independent; the plan
+// only decides how much parallelism each window can exploit).
+package parsim
+
+// Plan maps node ids to partition queues.
+type Plan struct {
+	workers int
+	queue   []int32 // id -> queue, grown on demand; 0 = root
+	next    int     // round-robin cursor, shared across Spread calls
+}
+
+// New returns an empty plan over the given number of partition queues.
+// workers must be at least 1.
+func New(workers int) *Plan {
+	if workers < 1 {
+		panic("parsim: a plan needs at least one partition queue")
+	}
+	return &Plan{workers: workers}
+}
+
+// Workers returns the partition queue count.
+func (p *Plan) Workers() int { return p.workers }
+
+// Spread assigns ids round-robin across the partition queues 1..workers, in
+// the order given. A single shared cursor runs across Spread calls, so
+// successive role groups (validators, then clients, then readers) interleave
+// instead of stacking the tail group onto the first queues.
+func (p *Plan) Spread(ids []int) {
+	for _, id := range ids {
+		p.assign(id, int32(1+p.next%p.workers))
+		p.next++
+	}
+}
+
+// Root pins ids to the root queue: actors that touch arbitrary nodes
+// (observers, fault injectors) and must only ever run at window barriers.
+func (p *Plan) Root(ids []int) {
+	for _, id := range ids {
+		p.assign(id, 0)
+	}
+}
+
+func (p *Plan) assign(id int, q int32) {
+	if id < 0 {
+		panic("parsim: negative node id")
+	}
+	if id >= len(p.queue) {
+		grown := make([]int32, max(id+1, 2*len(p.queue)))
+		copy(grown, p.queue)
+		p.queue = grown
+	}
+	p.queue[id] = q
+}
+
+// QueueOf returns the queue planned for id (0 — the root queue — when the
+// id was never assigned).
+func (p *Plan) QueueOf(id int) int32 {
+	if id < 0 || id >= len(p.queue) {
+		return 0
+	}
+	return p.queue[id]
+}
+
+// Table returns the dense id->queue table in the form sim.EnableParallel
+// and simnet.EnableParallel consume. The table is the plan's backing store;
+// callers must not mutate it.
+func (p *Plan) Table() []int32 { return p.queue }

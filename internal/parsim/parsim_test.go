@@ -1,0 +1,86 @@
+package parsim
+
+import "testing"
+
+// TestSpreadRoundRobin pins the assignment function: ids go 1,2,...,W,1,2,...
+// in registration order, with the cursor shared across calls.
+func TestSpreadRoundRobin(t *testing.T) {
+	p := New(4)
+	p.Spread([]int{0, 1, 2, 3, 4, 5})
+	p.Spread([]int{10, 11})
+	want := map[int]int32{0: 1, 1: 2, 2: 3, 3: 4, 4: 1, 5: 2, 10: 3, 11: 4}
+	for id, q := range want {
+		if got := p.QueueOf(id); got != q {
+			t.Errorf("QueueOf(%d) = %d, want %d", id, got, q)
+		}
+	}
+}
+
+// TestRootAndUnassigned: explicit root pins and never-assigned ids both
+// resolve to queue 0.
+func TestRootAndUnassigned(t *testing.T) {
+	p := New(2)
+	p.Spread([]int{1, 2})
+	p.Root([]int{3})
+	for _, id := range []int{0, 3, 999} {
+		if got := p.QueueOf(id); got != 0 {
+			t.Errorf("QueueOf(%d) = %d, want root (0)", id, got)
+		}
+	}
+	if got := p.QueueOf(-5); got != 0 {
+		t.Errorf("QueueOf(-5) = %d, want root (0)", got)
+	}
+}
+
+// TestDeterministicTable: two identically-built plans produce identical
+// tables, and the table covers exactly the highest assigned id.
+func TestDeterministicTable(t *testing.T) {
+	build := func() *Plan {
+		p := New(3)
+		p.Spread([]int{5, 0, 7})
+		p.Root([]int{2})
+		return p
+	}
+	a, b := build().Table(), build().Table()
+	if len(a) != len(b) {
+		t.Fatalf("table lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tables differ at id %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(a) < 8 {
+		t.Fatalf("table of length %d does not cover id 7", len(a))
+	}
+}
+
+// TestBalancedLoad: spreading n ids over w queues leaves every queue within
+// one id of every other.
+func TestBalancedLoad(t *testing.T) {
+	p := New(8)
+	ids := make([]int, 100)
+	for i := range ids {
+		ids[i] = i
+	}
+	p.Spread(ids)
+	counts := make(map[int32]int)
+	for _, id := range ids {
+		counts[p.QueueOf(id)]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("ids landed on %d queues, want 8", len(counts))
+	}
+	lo, hi := 1<<30, 0
+	for _, c := range counts {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("imbalanced plan: queue loads range %d..%d", lo, hi)
+	}
+}

@@ -128,41 +128,41 @@ func (q *refQueue) Pop() any {
 func TestPropertyHeapMatchesReference(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		s := New(seed)
+		q := New(seed).qs[0]
 		ref := &refQueue{}
 		var seq uint64
 		for op := 0; op < 2000; op++ {
 			if ref.Len() == 0 || rng.Intn(3) != 0 { // bias toward pushes
 				at := time.Duration(rng.Intn(1000)) * time.Millisecond
-				if at < s.now {
-					at = s.now
+				if at < q.now {
+					at = q.now
 				}
-				slot := s.acquireSlot(func() {})
-				s.push(heapEntry{at: at, seq: seq, slot: slot, gen: s.slots[slot].gen})
+				slot := q.acquireSlot(func() {})
+				q.push(heapEntry{at: at, seq: seq, slot: slot, gen: q.slots[slot].gen})
 				heap.Push(ref, refEntry{at: at, seq: seq})
 				seq++
 			} else {
-				got := s.pop()
-				s.releaseSlot(got.slot)
+				got := q.pop()
+				q.releaseSlot(got.slot)
 				want := heap.Pop(ref).(refEntry)
 				if got.at != want.at || got.seq != want.seq {
 					t.Fatalf("seed %d op %d: popped (%s, %d), reference says (%s, %d)",
 						seed, op, got.at, got.seq, want.at, want.seq)
 				}
-				s.now = got.at
+				q.now = got.at
 			}
 		}
 		for ref.Len() > 0 {
-			got := s.pop()
-			s.releaseSlot(got.slot)
+			got := q.pop()
+			q.releaseSlot(got.slot)
 			want := heap.Pop(ref).(refEntry)
 			if got.at != want.at || got.seq != want.seq {
 				t.Fatalf("seed %d drain: popped (%s, %d), reference says (%s, %d)",
 					seed, got.at, got.seq, want.at, want.seq)
 			}
 		}
-		if len(s.heap) != 0 {
-			t.Fatalf("seed %d: %d entries left after draining the reference", seed, len(s.heap))
+		if len(q.heap) != 0 {
+			t.Fatalf("seed %d: %d entries left after draining the reference", seed, len(q.heap))
 		}
 	}
 }
@@ -201,7 +201,7 @@ func TestSlotArenaReusesMemory(t *testing.T) {
 		s.After(time.Millisecond, func() {})
 		s.Step()
 	}
-	if len(s.slots) > 2 {
-		t.Fatalf("slot arena grew to %d slots under serial churn, want <= 2", len(s.slots))
+	if len(s.qs[0].slots) > 2 {
+		t.Fatalf("slot arena grew to %d slots under serial churn, want <= 2", len(s.qs[0].slots))
 	}
 }

@@ -1,55 +1,57 @@
 package sim
 
 import (
-	"math/rand"
 	"time"
 
 	"stabl/internal/snapshot"
 )
 
-// countingSource wraps the stdlib math/rand source with a draw counter. Its
-// output is bit-identical to rand.NewSource(seed) — it delegates every draw —
-// but the position counter makes the stream checkpointable: rngSource.Int63
-// is one Uint64 state step, so the (seed, draws) pair fully determines the
-// generator state and rewind() reproduces it by fast-forwarding a fresh
-// source. This keeps every committed golden valid: no RNG algorithm changed,
-// only the bookkeeping around it.
+// countingSource is a SplitMix64 PRNG (Steele, Lea & Flood, OOPSLA 2014)
+// with a draw counter. Its whole state is one 64-bit word advanced by a
+// fixed odd gamma per draw, so the (seed, draws) pair fully determines the
+// generator and rewind() is O(1): state = seed + draws*gamma. That matters
+// twice — checkpoints reposition thousands of streams per Restore, and
+// large deployments derive three degradation streams per node (a stdlib
+// lagged-Fibonacci source would cost ~5 KB each, ~150 MB at 10,240 nodes).
 type countingSource struct {
 	seed  int64
-	inner rand.Source64
+	state uint64
 	draws uint64
 }
 
-func newCountingSource(seed int64) *countingSource {
-	return &countingSource{seed: seed, inner: rand.NewSource(seed).(rand.Source64)}
-}
+// splitmixGamma is the Weyl-sequence increment (the golden ratio in 64 bits,
+// forced odd), the constant the SplitMix64 reference uses.
+const splitmixGamma = 0x9E3779B97F4A7C15
 
-func (c *countingSource) Int63() int64 {
-	c.draws++
-	return c.inner.Int63()
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{seed: seed, state: uint64(seed)}
 }
 
 func (c *countingSource) Uint64() uint64 {
+	c.state += splitmixGamma
 	c.draws++
-	return c.inner.Uint64()
+	z := c.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (c *countingSource) Int63() int64 {
+	return int64(c.Uint64() >> 1)
 }
 
 func (c *countingSource) Seed(seed int64) {
 	c.seed = seed
+	c.state = uint64(seed)
 	c.draws = 0
-	c.inner.Seed(seed)
 }
 
 // rewind repositions the stream at exactly `draws` draws from its seed.
 func (c *countingSource) rewind(draws uint64) {
-	if draws == c.draws {
-		return
-	}
-	src := rand.NewSource(c.seed).(rand.Source64)
-	for i := uint64(0); i < draws; i++ {
-		src.Uint64()
-	}
-	c.inner = src
+	c.state = uint64(c.seed) + splitmixGamma*draws
 	c.draws = draws
 }
 
@@ -66,15 +68,17 @@ type tickerState struct {
 // schedState is the Scheduler's checkpoint. Everything is copied by value;
 // the fn pointers inside the copied slots are the closures queued at
 // checkpoint time, which restore-in-place keeps valid (see package
-// snapshot).
+// snapshot). Checkpoints capture the sequential kernel only (one queue);
+// the forking API falls back to sequential mode before snapshotting.
 type schedState struct {
-	now    time.Duration
-	heap   []heapEntry
-	slots  []eventSlot
-	free   int32
-	seq    uint64
-	fired  uint64
-	halted bool
+	now     time.Duration
+	heap    []heapEntry
+	slots   []eventSlot
+	free    int32
+	fired   uint64
+	subSeq  uint32
+	laneSeq []uint64
+	halted  bool
 	// Registry prefixes: lengths at checkpoint time plus per-entry state.
 	// Entries created after the checkpoint belong to objects the restore
 	// abandons, so truncation is exact.
@@ -82,18 +86,23 @@ type schedState struct {
 	tickers []tickerState
 }
 
-// Snapshot captures the scheduler: clock, event queue, slot arena, sequence
+// Snapshot captures the scheduler: clock, event queue, slot arena, key
 // counters and the RNG/ticker registries. The heap and arena are copied
 // entry-by-entry (value types), so a checkpoint of a steady-state experiment
-// costs two slice copies plus two small registry walks.
+// costs a few slice copies plus two small registry walks.
 func (s *Scheduler) Snapshot() snapshot.State {
+	if s.par != nil {
+		panic("sim: Snapshot requires the sequential kernel (see DisableParallel)")
+	}
+	q := s.qs[0]
 	st := &schedState{
-		now:     s.now,
-		heap:    append([]heapEntry(nil), s.heap...),
-		slots:   append([]eventSlot(nil), s.slots...),
-		free:    s.free,
-		seq:     s.seq,
-		fired:   s.fired,
+		now:     q.now,
+		heap:    append([]heapEntry(nil), q.heap...),
+		slots:   append([]eventSlot(nil), q.slots...),
+		free:    q.free,
+		fired:   q.fired,
+		subSeq:  q.subSeq,
+		laneSeq: append([]uint64(nil), s.laneSeq...),
 		halted:  s.halted,
 		sources: make([]uint64, len(s.sources)),
 		tickers: make([]tickerState, len(s.tickers)),
@@ -116,12 +125,17 @@ func (s *Scheduler) Restore(state snapshot.State) {
 	if !ok {
 		panic("sim: Scheduler.Restore on foreign state")
 	}
-	s.now = st.now
-	s.heap = append(s.heap[:0], st.heap...)
-	s.slots = append(s.slots[:0], st.slots...)
-	s.free = st.free
-	s.seq = st.seq
-	s.fired = st.fired
+	if s.par != nil {
+		panic("sim: Restore requires the sequential kernel")
+	}
+	q := s.qs[0]
+	q.now = st.now
+	q.heap = append(q.heap[:0], st.heap...)
+	q.slots = append(q.slots[:0], st.slots...)
+	q.free = st.free
+	q.fired = st.fired
+	q.subSeq = st.subSeq
+	s.laneSeq = append(s.laneSeq[:0], st.laneSeq...)
 	s.halted = st.halted
 	if len(st.sources) > len(s.sources) || len(st.tickers) > len(s.tickers) {
 		panic("sim: Scheduler.Restore state from a different scheduler history")

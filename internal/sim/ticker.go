@@ -7,6 +7,7 @@ import "time"
 // inline in the event loop.
 type Ticker struct {
 	sched    *Scheduler
+	lane     int32
 	interval time.Duration
 	fn       func()
 	fire     func() // bound once so re-arming allocates no new closure
@@ -14,14 +15,21 @@ type Ticker struct {
 	stopped  bool
 }
 
-// NewTicker schedules fn every interval, with the first invocation one
-// interval from now. It panics on a non-positive interval, which would
-// otherwise wedge the event loop at a single instant.
+// NewTicker schedules fn every interval on the root lane, with the first
+// invocation one interval from now. It panics on a non-positive interval,
+// which would otherwise wedge the event loop at a single instant.
 func NewTicker(sched *Scheduler, interval time.Duration, fn func()) *Ticker {
+	return NewLaneTicker(sched, -1, interval, fn)
+}
+
+// NewLaneTicker is NewTicker on behalf of lane: ticks carry the lane in
+// their ordering key and execute on the lane's queue, so a node's periodic
+// work stays inside its own partition in parallel mode.
+func NewLaneTicker(sched *Scheduler, lane int32, interval time.Duration, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	t := &Ticker{sched: sched, interval: interval, fn: fn}
+	t := &Ticker{sched: sched, lane: lane, interval: interval, fn: fn}
 	t.fire = func() {
 		if t.stopped {
 			return
@@ -34,12 +42,14 @@ func NewTicker(sched *Scheduler, interval time.Duration, fn func()) *Ticker {
 	t.arm()
 	// Register for Snapshot/Restore: a ticker stopped or re-armed by one
 	// forked continuation must rewind for the next (see snapshot.go).
+	sched.regMu.Lock()
 	sched.tickers = append(sched.tickers, t)
+	sched.regMu.Unlock()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.timer = t.sched.After(t.interval, t.fire)
+	t.timer = t.sched.AfterLane(t.lane, t.interval, t.fire)
 }
 
 // Stop cancels future ticks. It is idempotent.

@@ -153,7 +153,12 @@ func (cm *connManager) allowsEp(src, dst *endpoint) bool {
 	return st != nil && st.established
 }
 
-func (cm *connManager) observeTraffic(from, to NodeID) {
+// observeTraffic records that `to` heard from `from` at the given execution
+// time. Callers pass their own queue's clock: the two lastRecv fields of a
+// pair are written by the two endpoints' partitions respectively, and read
+// only at barriers (tick runs on the root queue), so the connection layer
+// needs no locks in parallel mode.
+func (cm *connManager) observeTraffic(from, to NodeID, now time.Duration) {
 	if !cm.net.nodes[from].connPeer || !cm.net.nodes[to].connPeer {
 		return
 	}
@@ -161,7 +166,6 @@ func (cm *connManager) observeTraffic(from, to NodeID) {
 	if st == nil {
 		return
 	}
-	now := cm.net.sched.Now()
 	if to == st.key.a {
 		st.lastRecvA = now
 	} else {
@@ -326,14 +330,21 @@ func (cm *connManager) sendControl(from, to NodeID, payload any) {
 	// Injected loss hits control traffic too (a netem rule cannot tell a
 	// heartbeat from a block): lossy links therefore also churn the
 	// connection layer, like in a real deployment.
-	if n.lossyIfaces > 0 && n.lost(from, to) {
+	if n.lossyIfaces > 0 && n.lost(src, to, src.loss) {
 		return
 	}
-	d := n.newDelivery()
+	// Control deliveries mutate shared pair state, so they execute on the
+	// root queue (lane -1) regardless of the receiver's partition — but
+	// they are keyed by the sender's lane so the total event order is the
+	// same one the sequential kernel produces. sendControl only runs from
+	// root contexts (the heartbeat ticker, retry timers, control handlers),
+	// so the root clock and pool 0 are the right ones.
+	d := n.newDelivery(0)
 	d.dst = dst
 	d.from = from
 	d.payload = payload
 	d.inc = dst.incarnation
 	d.control = true
-	n.sched.After(n.delay(from, to), d.run)
+	n.sched.ScheduleKeyed(-1, int32(from), n.sched.TakeLaneSeq(int32(from)),
+		n.sched.Now()+n.delay(src, to, src.lat, src.jit), d.run)
 }

@@ -113,7 +113,7 @@ func TestDeliveryPoolReuse(t *testing.T) {
 		t.Fatalf("delivered %d/%d messages, want 100/100", b.got, len(a.received))
 	}
 	pooled := 0
-	for d := net.freeDeliveries; d != nil; d = d.next {
+	for d := net.pools[0].free; d != nil; d = d.next {
 		pooled++
 		if pooled > 10 {
 			t.Fatalf("delivery pool grew past %d entries under serial traffic", pooled)

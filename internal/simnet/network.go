@@ -12,12 +12,20 @@
 // extra delays use a dense slice with a non-zero counter, and delivery
 // events are pooled value-typed closures rather than a fresh closure per
 // message.
+//
+// The network is also where the parallel kernel's ownership discipline
+// lives (see sim's parallel mode): every delay/loss/jitter draw comes from
+// the *sender's* private RNG streams, a message's ordering key is assigned
+// at send time from the sender's lane counter, and cross-partition sends
+// inside a lookahead window are buffered per queue and injected at the next
+// barrier. Node lifecycle and degradation mutators are barrier-only.
 package simnet
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"stabl/internal/sim"
@@ -48,6 +56,14 @@ type LatencyModel interface {
 	Sample(from, to NodeID, rng *rand.Rand) time.Duration
 }
 
+// DelayLowerBound is implemented by latency models that can state a static,
+// positive lower bound on every delay they will ever sample. The parallel
+// kernel derives its lookahead from it; models without the method (or with
+// a zero bound) force the sequential kernel.
+type DelayLowerBound interface {
+	LowerBound() time.Duration
+}
+
 // UniformLatency samples uniformly from [Min, Max].
 type UniformLatency struct {
 	Min, Max time.Duration
@@ -63,6 +79,9 @@ func (u UniformLatency) Sample(_, _ NodeID, rng *rand.Rand) time.Duration {
 	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
 }
 
+// LowerBound implements DelayLowerBound.
+func (u UniformLatency) LowerBound() time.Duration { return u.Min }
+
 // FixedLatency returns the same delay for every message; useful in tests.
 type FixedLatency time.Duration
 
@@ -72,6 +91,9 @@ var _ LatencyModel = FixedLatency(0)
 func (f FixedLatency) Sample(_, _ NodeID, _ *rand.Rand) time.Duration {
 	return time.Duration(f)
 }
+
+// LowerBound implements DelayLowerBound.
+func (f FixedLatency) LowerBound() time.Duration { return time.Duration(f) }
 
 // Stats counts network-level activity; useful for tests and ablations.
 type Stats struct {
@@ -85,6 +107,19 @@ type Stats struct {
 	DroppedLoss       uint64
 }
 
+// add accumulates b into a; all counters are commutative sums, so shard
+// order never shows in the total.
+func (a *Stats) add(b Stats) {
+	a.Sent += b.Sent
+	a.Delivered += b.Delivered
+	a.DroppedPartition += b.DroppedPartition
+	a.DroppedConnDown += b.DroppedConnDown
+	a.DroppedNodeDown += b.DroppedNodeDown
+	a.DroppedInFlight += b.DroppedInFlight
+	a.DroppedSenderDown += b.DroppedSenderDown
+	a.DroppedLoss += b.DroppedLoss
+}
+
 // Config parameterizes a Network.
 type Config struct {
 	// Latency models one-way delays; defaults to a 5-25 ms uniform link.
@@ -95,7 +130,6 @@ type Config struct {
 type Network struct {
 	sched   *sim.Scheduler
 	latency LatencyModel
-	rng     *rand.Rand
 	// nodes is a dense table keyed by NodeID (nil = unregistered); ids
 	// lists registered ids, kept sorted lazily for StartAll.
 	nodes     []*endpoint
@@ -108,8 +142,11 @@ type Network struct {
 	// Blocked check is a single map probe (skipped entirely when empty).
 	blockedPairs map[pairKey]int
 	conns        *connManager
-	stats        Stats
-	tracer       Tracer
+	// statsh shards the counters by executing queue so concurrent
+	// partitions never write the same word; Stats() sums the shards.
+	// Sequential mode holds exactly one shard.
+	statsh []Stats
+	tracer Tracer
 	// extraDelay models netem-style per-interface latency injection:
 	// every message entering or leaving the node is delayed. Dense by
 	// NodeID; extraDelayed counts non-zero entries so the common case
@@ -129,24 +166,66 @@ type Network struct {
 	lossyIfaces  int
 	jitterBound  []time.Duration
 	jitterIfaces int
-	lossRNG      *rand.Rand
-	jitterRNG    *rand.Rand
-	// freeDeliveries pools delivery events so a message in steady state
-	// schedules no new closure.
-	freeDeliveries *delivery
-	// deliveries registers every pooled delivery ever allocated, in
-	// creation order, so Snapshot/Restore can rewind in-flight messages
-	// and rebuild the free list (see snapshot.go).
-	deliveries []*delivery
+	// pools[qi] pools delivery events per queue so a message in steady
+	// state schedules no new closure, and so concurrent partitions never
+	// share a free list. Sequential mode uses pools[0] only.
+	pools []dpool
+	// outbox[qi] buffers cross-partition sends made by queue qi inside a
+	// lookahead window; a barrier hook injects them (keys were already
+	// assigned at send time, so injection order is irrelevant).
+	outbox [][]outMsg
+	// virt lazily holds degradation streams for virtual sender ids (see
+	// Context.SendAs): a flow node submitting on behalf of the classic
+	// client it aggregates draws latency/loss/jitter from the member's own
+	// streams — the same names the per-client layout registers — so the
+	// aggregated trajectory is byte-identical to the individual one.
+	// Created on first use: a million modeled clients that never tick cost
+	// nothing. virtMu guards the map (flow nodes in different partitions may
+	// fault streams in concurrently); each virtual id is consumed by exactly
+	// one flow node, so the streams themselves stay single-threaded.
+	virt   map[NodeID]*virtStreams
+	virtMu sync.RWMutex
+}
+
+// virtStreams are the sender-side degradation streams of a virtual node id.
+type virtStreams struct {
+	lat, loss, jit *rand.Rand
+}
+
+// dpool is one queue's delivery pool: a free list plus the registry of every
+// delivery ever allocated (creation order), which Snapshot/Restore rewinds.
+type dpool struct {
+	free *delivery
+	all  []*delivery
+}
+
+// outMsg is one buffered cross-partition send. The ordering key (at, sender
+// lane, seq) was fixed when the send happened; the barrier only moves the
+// event into the receiver's queue.
+type outMsg struct {
+	at      time.Duration
+	seq     uint64
+	from    NodeID
+	dst     *endpoint
+	payload any
+	inc     uint64
 }
 
 type endpoint struct {
 	id          NodeID
 	handler     Handler
 	up          bool
-	connPeer    bool // participates in the managed connection layer
+	connPeer    bool  // participates in the managed connection layer
+	qi          int32 // owning partition queue (0 = root; see EnableParallel)
 	incarnation uint64
 	ctx         *Context
+	// Sender-owned degradation streams: every delay, loss and jitter draw
+	// for a message is made by its sender, from streams only the sender's
+	// execution context touches. Derived per node so draw order — and with
+	// it the whole trajectory — is identical for any worker count.
+	lat  *rand.Rand
+	loss *rand.Rand
+	jit  *rand.Rand
 }
 
 // partitionRule remembers the cross pairs it contributed to blockedPairs so
@@ -162,24 +241,107 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 		lat = UniformLatency{Min: 5 * time.Millisecond, Max: 25 * time.Millisecond}
 	}
 	return &Network{
-		sched:   sched,
-		latency: lat,
-		rng:     sched.RNG("simnet.latency"),
-		// Dedicated degradation streams: enabling loss or jitter must not
-		// shift the latency stream (and vice versa), so that a run with
-		// the primitives unused replays the undegraded run bit-for-bit.
-		lossRNG:      sched.RNG("simnet.loss"),
-		jitterRNG:    sched.RNG("simnet.jitter"),
+		sched:        sched,
+		latency:      lat,
 		rules:        make(map[int]partitionRule),
 		blockedPairs: make(map[pairKey]int),
+		statsh:       make([]Stats, 1),
+		pools:        make([]dpool, 1),
 	}
 }
 
 // Scheduler returns the underlying scheduler.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
-// Stats returns a snapshot of network counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of network counters, summed over all shards.
+func (n *Network) Stats() Stats {
+	s := n.statsh[0]
+	for _, sh := range n.statsh[1:] {
+		s.add(sh)
+	}
+	return s
+}
+
+// Lookahead returns the static lower bound of the configured latency model,
+// or 0 when the model cannot state one. A positive lookahead is what makes
+// the conservative parallel kernel applicable: injected extra delay and
+// jitter only ever add to a sampled delay, and loss only drops messages, so
+// the bound survives every degradation primitive.
+func (n *Network) Lookahead() time.Duration {
+	if lb, ok := n.latency.(DelayLowerBound); ok {
+		if d := lb.LowerBound(); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// EnableParallel adopts a partition plan (see internal/parsim): queueOf maps
+// every node id to the sim queue that owns it. Must be called after all
+// AddNode calls and together with the scheduler's EnableParallel, before
+// StartAll. Registers the cross-partition outbox flush as a barrier hook.
+func (n *Network) EnableParallel(queueOf []int32, workers int) {
+	if len(n.pools) > 1 {
+		panic("simnet: EnableParallel called twice")
+	}
+	for _, ep := range n.nodes {
+		if ep == nil {
+			continue
+		}
+		if int(ep.id) < len(queueOf) {
+			ep.qi = queueOf[ep.id]
+		}
+	}
+	for i := 0; i < workers; i++ {
+		n.statsh = append(n.statsh, Stats{})
+		n.pools = append(n.pools, dpool{})
+	}
+	n.outbox = make([][]outMsg, workers+1)
+	n.sched.OnBarrier(n.flushOutboxes)
+}
+
+// DisableParallel reverts to the single-queue layout, the sequential
+// fallback the forking API takes before snapshotting. Outboxes must be
+// empty (they always are outside a window).
+func (n *Network) DisableParallel() {
+	if len(n.pools) == 1 {
+		return
+	}
+	for _, box := range n.outbox {
+		if len(box) != 0 {
+			panic("simnet: DisableParallel with buffered cross-partition sends")
+		}
+	}
+	for i := 1; i < len(n.statsh); i++ {
+		n.statsh[0].add(n.statsh[i])
+	}
+	n.statsh = n.statsh[:1]
+	// Deliveries allocated by partition pools stay owned by them; merging
+	// free lists would break the per-pool registries. Pre-start (the only
+	// place the fallback runs) no partition pool has allocated anything.
+	for _, p := range n.pools[1:] {
+		if len(p.all) != 0 {
+			panic("simnet: DisableParallel after partition deliveries were pooled")
+		}
+	}
+	n.pools = n.pools[:1]
+	n.outbox = nil
+	for _, ep := range n.nodes {
+		if ep != nil {
+			ep.qi = 0
+		}
+	}
+}
+
+// barrierOnly guards the mutators that touch state every partition reads
+// (liveness, partitions, degradation): they may only run from the root
+// execution context — observers, scenario scripts, setup — never from a
+// partition event inside a window.
+func (n *Network) barrierOnly(op string) {
+	if n.sched.InWindow() {
+		panic("simnet: " + op + " from a partition event")
+	}
+}
 
 // AddNode registers a handler under id. Nodes start in the down state until
 // StartAll or StartNode is called. Adding a duplicate id is a programming
@@ -207,6 +369,11 @@ func (n *Network) AddNode(id NodeID, h Handler) {
 	}
 	ep := &endpoint{id: id, handler: h}
 	ep.ctx = &Context{net: n, ep: ep}
+	// The degradation streams are tiny (SplitMix64 state), so deriving all
+	// three eagerly per node is cheaper than branching on every send.
+	ep.lat = n.sched.RNG(fmt.Sprintf("simnet.latency/n%d", int(id)))
+	ep.loss = n.sched.RNG(fmt.Sprintf("simnet.loss/n%d", int(id)))
+	ep.jit = n.sched.RNG(fmt.Sprintf("simnet.jitter/n%d", int(id)))
 	n.nodes[id] = ep
 	n.ids = append(n.ids, id)
 	n.idsSorted = len(n.ids) == 1 || (n.idsSorted && id > n.ids[len(n.ids)-2])
@@ -228,6 +395,7 @@ func (n *Network) StartAll() {
 
 // StartNode boots a single node, invoking its handler's Start.
 func (n *Network) StartNode(id NodeID) {
+	n.barrierOnly("StartNode")
 	ep := n.mustNode(id)
 	if ep.up {
 		return
@@ -249,6 +417,7 @@ func (n *Network) StartNode(id NodeID) {
 // Halt crashes a node: its handler is stopped, its pending timers are fenced
 // off, and in-flight messages addressed to it are dropped on arrival.
 func (n *Network) Halt(id NodeID) {
+	n.barrierOnly("Halt")
 	ep := n.mustNode(id)
 	if !ep.up {
 		return
@@ -271,6 +440,7 @@ func (n *Network) IsUp(id NodeID) bool { return n.mustNode(id).up }
 // STABL's netfilter-based injection: messages sent while the rule is active
 // are lost even if the rule is healed before they would have arrived.
 func (n *Network) Partition(a, b []NodeID) int {
+	n.barrierOnly("Partition")
 	rule := partitionRule{pairs: make([]pairKey, 0, len(a)*len(b))}
 	for _, x := range a {
 		for _, y := range b {
@@ -290,6 +460,7 @@ func (n *Network) Partition(a, b []NodeID) int {
 
 // Heal removes a partition rule installed by Partition.
 func (n *Network) Heal(rule int) {
+	n.barrierOnly("Heal")
 	r, ok := n.rules[rule]
 	if !ok {
 		return
@@ -309,6 +480,7 @@ func (n *Network) Heal(rule int) {
 // message to or from a node, modelling tc-netem delay rules on the node's
 // interface.
 func (n *Network) SetExtraDelay(id NodeID, d time.Duration) {
+	n.barrierOnly("SetExtraDelay")
 	n.mustNode(id)
 	n.trace(TraceEvent{Kind: TraceDelay, Node: id, Peer: id, Detail: d.String()})
 	if d < 0 {
@@ -335,10 +507,11 @@ func (n *Network) ExtraDelay(id NodeID) time.Duration {
 // SetLoss injects (or clears, with 0) probabilistic packet loss on a node's
 // interface, modelling a tc-netem loss rule: every message entering or
 // leaving the node is dropped independently with probability p. Values are
-// clamped into [0, 1]. Losses are drawn from a dedicated RNG stream, so a
+// clamped into [0, 1]. Losses are drawn from dedicated RNG streams, so a
 // network with every rate at zero replays identically to one that never
 // touched the primitive.
 func (n *Network) SetLoss(id NodeID, p float64) {
+	n.barrierOnly("SetLoss")
 	n.mustNode(id)
 	switch {
 	case p < 0:
@@ -368,9 +541,10 @@ func (n *Network) Loss(id NodeID) float64 {
 // SetJitter injects (or clears, with 0) bounded latency jitter on a node's
 // interface: every message entering or leaving the node is delayed by an
 // extra uniform draw from [0, bound], modelling a tc-netem delay-variation
-// rule. Jitter draws come from a dedicated RNG stream, so bound-zero
+// rule. Jitter draws come from dedicated RNG streams, so bound-zero
 // networks replay identically to pre-jitter kernels.
 func (n *Network) SetJitter(id NodeID, bound time.Duration) {
+	n.barrierOnly("SetJitter")
 	n.mustNode(id)
 	if bound < 0 {
 		bound = 0
@@ -394,17 +568,19 @@ func (n *Network) Jitter(id NodeID) time.Duration {
 	return n.jitterBound[id]
 }
 
-// lost decides whether a message on the (from, to) link is dropped by
-// injected loss. Callers must gate on n.lossyIfaces so the undegraded path
-// never reaches the RNG. The two interface rates combine independently,
-// like two netem qdiscs in series.
-func (n *Network) lost(from, to NodeID) bool {
-	pf, pt := n.lossRate[from], n.lossRate[to]
+// lost decides whether a message on the (src, to) link is dropped by
+// injected loss, drawing from the given sender-owned stream (the physical
+// endpoint's, or a virtual member's for SendAs — the rates stay indexed by
+// the physical interfaces either way). Callers must gate on n.lossyIfaces so
+// the undegraded path never reaches the RNG. The two interface rates combine
+// independently, like two netem qdiscs in series.
+func (n *Network) lost(src *endpoint, to NodeID, loss *rand.Rand) bool {
+	pf, pt := n.lossRate[src.id], n.lossRate[to]
 	if pf == 0 && pt == 0 {
 		return false
 	}
 	p := pf + pt - pf*pt
-	return n.lossRNG.Float64() < p
+	return loss.Float64() < p
 }
 
 // Blocked reports whether a (from, to) pair is currently separated by a
@@ -420,26 +596,29 @@ func (n *Network) Blocked(from, to NodeID) bool {
 // delivery is a pooled in-flight message event. Its run closure is bound
 // once when the delivery is first allocated; afterwards sending a message
 // reuses a free delivery and schedules the existing closure, so the steady
-// state send path allocates nothing.
+// state send path allocates nothing. Each delivery belongs to the pool of
+// the queue it executes on.
 type delivery struct {
 	n       *Network
 	dst     *endpoint
 	from    NodeID
 	payload any
 	inc     uint64
-	control bool // connection-layer traffic (bypasses the app handler)
+	control bool  // connection-layer traffic (bypasses the app handler)
+	qi      int32 // owning pool == executing queue
 	run     func()
 	next    *delivery // pool free list
 }
 
-func (n *Network) newDelivery() *delivery {
-	d := n.freeDeliveries
+func (n *Network) newDelivery(qi int32) *delivery {
+	p := &n.pools[qi]
+	d := p.free
 	if d == nil {
-		d = &delivery{n: n}
+		d = &delivery{n: n, qi: qi}
 		d.run = d.fire
-		n.deliveries = append(n.deliveries, d)
+		p.all = append(p.all, d)
 	} else {
-		n.freeDeliveries = d.next
+		p.free = d.next
 		d.next = nil
 	}
 	return d
@@ -449,74 +628,152 @@ func (n *Network) newDelivery() *delivery {
 // handler runs: all state is copied to locals first, so reentrant sends from
 // inside Deliver can safely reuse it.
 func (d *delivery) fire() {
-	n, dst, from, payload, inc, control := d.n, d.dst, d.from, d.payload, d.inc, d.control
+	n, dst, from, payload, inc, control, qi := d.n, d.dst, d.from, d.payload, d.inc, d.control, d.qi
 	d.dst = nil
 	d.payload = nil
-	d.next = n.freeDeliveries
-	n.freeDeliveries = d
+	p := &n.pools[qi]
+	d.next = p.free
+	p.free = d
+	sh := &n.statsh[qi]
 	if !dst.up || dst.incarnation != inc {
 		if !control {
-			n.stats.DroppedInFlight++
+			sh.DroppedInFlight++
 		}
 		return
 	}
 	if control {
-		n.conns.observeTraffic(from, dst.id)
+		// Control traffic always executes on the root queue (see
+		// sendControl), so the root clock is the execution clock.
+		n.conns.observeTraffic(from, dst.id, n.sched.Now())
 		n.conns.handleControl(from, dst.id, payload)
 		return
 	}
-	n.stats.Delivered++
+	sh.Delivered++
 	if n.conns != nil {
-		n.conns.observeTraffic(from, dst.id)
+		n.conns.observeTraffic(from, dst.id, n.sched.LaneNow(int32(dst.id)))
 	}
 	dst.handler.Deliver(from, payload)
 }
 
+// virtual returns the degradation streams of a virtual sender id, creating
+// them on first use. The stream names match the ones AddNode registers for a
+// physical node of the same id, and stream content depends only on
+// (scheduler seed, name), so a flow node replaying a classic client's sends
+// through these streams draws the exact values the client's own endpoint
+// streams would have produced.
+func (n *Network) virtual(id NodeID) *virtStreams {
+	n.virtMu.RLock()
+	vs := n.virt[id]
+	n.virtMu.RUnlock()
+	if vs != nil {
+		return vs
+	}
+	n.virtMu.Lock()
+	defer n.virtMu.Unlock()
+	if vs = n.virt[id]; vs != nil {
+		return vs
+	}
+	vs = &virtStreams{
+		lat:  n.sched.RNG(fmt.Sprintf("simnet.latency/n%d", int(id))),
+		loss: n.sched.RNG(fmt.Sprintf("simnet.loss/n%d", int(id))),
+		jit:  n.sched.RNG(fmt.Sprintf("simnet.jitter/n%d", int(id))),
+	}
+	if n.virt == nil {
+		n.virt = make(map[NodeID]*virtStreams)
+	}
+	n.virt[id] = vs
+	return vs
+}
+
 // send is the single application message path; all drops are accounted in
-// stats.
-func (n *Network) send(from, to NodeID, payload any) {
+// stats. The delay is drawn from the sender's streams (or, for SendAs, the
+// virtual sender's) and the ordering key from the physical sender's lane
+// counter at send time, so the resulting delivery is identical no matter
+// which kernel — or which partition interleaving — executes it.
+// Cross-partition sends inside a window go to the outbox.
+func (n *Network) send(from, to NodeID, payload any, vs *virtStreams) {
 	src := n.mustNode(from)
 	dst := n.mustNode(to)
-	n.stats.Sent++
+	sh := &n.statsh[src.qi]
+	sh.Sent++
 	if !src.up {
-		n.stats.DroppedSenderDown++
+		sh.DroppedSenderDown++
 		return
 	}
 	if n.Blocked(from, to) {
-		n.stats.DroppedPartition++
+		sh.DroppedPartition++
 		return
 	}
 	if n.conns != nil && !n.conns.allowsEp(src, dst) {
-		n.stats.DroppedConnDown++
+		sh.DroppedConnDown++
 		return
 	}
 	if !dst.up {
-		n.stats.DroppedNodeDown++
+		sh.DroppedNodeDown++
 		return
 	}
-	if n.lossyIfaces > 0 && n.lost(from, to) {
-		n.stats.DroppedLoss++
+	lat, loss, jit := src.lat, src.loss, src.jit
+	if vs != nil {
+		lat, loss, jit = vs.lat, vs.loss, vs.jit
+	}
+	if n.lossyIfaces > 0 && n.lost(src, to, loss) {
+		sh.DroppedLoss++
 		return
 	}
-	d := n.newDelivery()
+	at := n.sched.ContextNow(int32(from)) + n.delay(src, to, lat, jit)
+	seq := n.sched.TakeLaneSeq(int32(from))
+	if dst.qi != src.qi && n.sched.InWindow() {
+		n.outbox[src.qi] = append(n.outbox[src.qi], outMsg{
+			at: at, seq: seq, from: from, dst: dst, payload: payload, inc: dst.incarnation,
+		})
+		return
+	}
+	d := n.newDelivery(dst.qi)
 	d.dst = dst
 	d.from = from
 	d.payload = payload
 	d.inc = dst.incarnation
 	d.control = false
-	n.sched.After(n.delay(from, to), d.run)
+	n.sched.ScheduleKeyed(int32(to), int32(from), seq, at, d.run)
 }
 
-// delay samples the one-way latency for a message, including any injected
-// interface delays and jitter.
-func (n *Network) delay(from, to NodeID) time.Duration {
-	d := n.latency.Sample(from, to, n.rng)
+// flushOutboxes injects every buffered cross-partition send into its
+// receiver's queue. Runs as a barrier hook with all partitions quiesced;
+// because keys were assigned at send time, the per-queue append order the
+// boxes happen to hold carries no meaning.
+func (n *Network) flushOutboxes() {
+	for qi := range n.outbox {
+		box := n.outbox[qi]
+		if len(box) == 0 {
+			continue
+		}
+		for i := range box {
+			m := &box[i]
+			d := n.newDelivery(m.dst.qi)
+			d.dst = m.dst
+			d.from = m.from
+			d.payload = m.payload
+			d.inc = m.inc
+			d.control = false
+			n.sched.ScheduleKeyed(int32(m.dst.id), int32(m.from), m.seq, m.at, d.run)
+			m.dst = nil
+			m.payload = nil
+		}
+		n.outbox[qi] = box[:0]
+	}
+}
+
+// delay samples the one-way latency for a message from the given
+// sender-owned streams, including any injected interface delays and jitter
+// (both indexed by the physical interfaces).
+func (n *Network) delay(src *endpoint, to NodeID, lat, jit *rand.Rand) time.Duration {
+	d := n.latency.Sample(src.id, to, lat)
 	if n.extraDelayed > 0 {
-		d += n.extraDelay[from] + n.extraDelay[to]
+		d += n.extraDelay[src.id] + n.extraDelay[to]
 	}
 	if n.jitterIfaces > 0 {
-		if bound := n.jitterBound[from] + n.jitterBound[to]; bound > 0 {
-			d += time.Duration(n.jitterRNG.Int63n(int64(bound) + 1))
+		if bound := n.jitterBound[src.id] + n.jitterBound[to]; bound > 0 {
+			d += time.Duration(jit.Int63n(int64(bound) + 1))
 		}
 	}
 	return d
@@ -551,7 +808,9 @@ func toSet(ids []NodeID) map[NodeID]bool {
 
 // Context is the capability surface handed to a node's handler. All methods
 // are only valid while the node is up; timers armed through the context are
-// automatically fenced when the node crashes.
+// automatically fenced when the node crashes. Context methods are lane-
+// aware: time, timers and tickers all live on the node's own queue, so a
+// handler written against Context is parallel-safe by construction.
 type Context struct {
 	net *Network
 	ep  *endpoint
@@ -563,8 +822,10 @@ type Context struct {
 // ID returns the node's identity.
 func (c *Context) ID() NodeID { return c.ep.id }
 
-// Now returns the current virtual time.
-func (c *Context) Now() time.Duration { return c.net.sched.Now() }
+// Now returns the current virtual time of the node's execution context.
+func (c *Context) Now() time.Duration {
+	return c.net.sched.ContextNow(int32(c.ep.id))
+}
 
 // Send transmits payload to the named peer, subject to partitions,
 // connection state and peer liveness.
@@ -572,7 +833,21 @@ func (c *Context) Send(to NodeID, payload any) {
 	if !c.ep.up {
 		return
 	}
-	c.net.send(c.ep.id, to, payload)
+	c.net.send(c.ep.id, to, payload, nil)
+}
+
+// SendAs transmits payload to the named peer on behalf of a virtual sender
+// id: every physical property of the message — ordering lane and sequence,
+// stats shard, liveness and partition checks, the from field the receiver
+// sees — comes from the real node, but the latency/loss/jitter draws come
+// from the virtual id's streams. Flow workloads use it so one aggregated
+// node replays the exact per-member stream consumption of the classic
+// per-client layout (see client.FlowConfig.VirtualBase).
+func (c *Context) SendAs(virtual, to NodeID, payload any) {
+	if !c.ep.up {
+		return
+	}
+	c.net.send(c.ep.id, to, payload, c.net.virtual(virtual))
 }
 
 // Broadcast sends payload to every id in peers except the sender itself.
@@ -585,22 +860,22 @@ func (c *Context) Broadcast(peers []NodeID, payload any) {
 	}
 }
 
-// After schedules fn on the node's behalf. The callback is suppressed if the
-// node crashes (or restarts) before it fires.
+// After schedules fn on the node's behalf, on the node's own lane. The
+// callback is suppressed if the node crashes (or restarts) before it fires.
 func (c *Context) After(d time.Duration, fn func()) sim.Timer {
 	inc := c.ep.incarnation
-	return c.net.sched.After(d, func() {
+	return c.net.sched.AfterLane(int32(c.ep.id), d, func() {
 		if c.ep.up && c.ep.incarnation == inc {
 			fn()
 		}
 	})
 }
 
-// Every schedules fn at a fixed interval until the returned ticker is
-// stopped or the node crashes.
+// Every schedules fn at a fixed interval on the node's own lane until the
+// returned ticker is stopped or the node crashes.
 func (c *Context) Every(interval time.Duration, fn func()) *sim.Ticker {
 	inc := c.ep.incarnation
-	return sim.NewTicker(c.net.sched, interval, func() {
+	return sim.NewLaneTicker(c.net.sched, int32(c.ep.id), interval, func() {
 		if c.ep.up && c.ep.incarnation == inc {
 			fn()
 		}
@@ -620,7 +895,7 @@ func (c *Context) RNG(name string) *rand.Rand {
 		c.rngSeeds[name] = d
 	}
 	// Issue through the scheduler so the stream registers for
-	// Snapshot/Restore; the contents are identical to rand.NewSource(d).
+	// Snapshot/Restore.
 	return c.net.sched.RNGFromSeed(d)
 }
 

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"sort"
 	"time"
 
 	"stabl/internal/sim"
@@ -53,6 +54,11 @@ type netState struct {
 	jitterIfaces int
 	deliveries   []deliveryState
 	freeHead     *delivery
+	// virtIDs records which virtual sender streams existed at the
+	// checkpoint (sorted). Streams created after it are truncated out of
+	// the scheduler's registry by its Restore, so the network must drop its
+	// map entries for them too — re-execution re-derives them fresh.
+	virtIDs []NodeID
 	// Connection layer (nil when unmanaged).
 	pairs   []pairConnState // in cm.order order
 	downs   uint64
@@ -63,11 +69,15 @@ type netState struct {
 // partition rules and blocked-pair counts, per-interface degradation tables,
 // every pooled delivery (in-flight or free) and the connection layer's pair
 // states. The node table, contexts, handlers and registries are
-// identity-preserved; the scheduler owns the RNG streams (simnet's latency,
-// loss and jitter streams register there).
+// identity-preserved; the scheduler owns the RNG streams (simnet's per-node
+// latency, loss and jitter streams register there). Checkpoints capture the
+// sequential layout only; the forking API falls back before snapshotting.
 func (n *Network) Snapshot() snapshot.State {
+	if len(n.pools) > 1 {
+		panic("simnet: Snapshot requires the sequential network (see DisableParallel)")
+	}
 	st := &netState{
-		stats:        n.stats,
+		stats:        n.statsh[0],
 		rules:        make(map[int]partitionRule, len(n.rules)),
 		ruleSeq:      n.ruleSeq,
 		blockedPairs: make(map[pairKey]int, len(n.blockedPairs)),
@@ -78,8 +88,8 @@ func (n *Network) Snapshot() snapshot.State {
 		lossyIfaces:  n.lossyIfaces,
 		jitterBound:  append([]time.Duration(nil), n.jitterBound...),
 		jitterIfaces: n.jitterIfaces,
-		deliveries:   make([]deliveryState, len(n.deliveries)),
-		freeHead:     n.freeDeliveries,
+		deliveries:   make([]deliveryState, len(n.pools[0].all)),
+		freeHead:     n.pools[0].free,
 	}
 	for id, r := range n.rules {
 		st.rules[id] = r // rule pair lists are immutable after Partition
@@ -92,12 +102,16 @@ func (n *Network) Snapshot() snapshot.State {
 			st.eps[i] = epState{up: ep.up, connPeer: ep.connPeer, incarnation: ep.incarnation}
 		}
 	}
-	for i, d := range n.deliveries {
+	for i, d := range n.pools[0].all {
 		st.deliveries[i] = deliveryState{
 			dst: d.dst, from: d.from, payload: d.payload,
 			inc: d.inc, control: d.control, next: d.next,
 		}
 	}
+	for id := range n.virt {
+		st.virtIDs = append(st.virtIDs, id)
+	}
+	sort.Slice(st.virtIDs, func(i, j int) bool { return st.virtIDs[i] < st.virtIDs[j] })
 	if cm := n.conns; cm != nil {
 		st.downs = cm.downs
 		st.reconns = cm.reconns
@@ -124,7 +138,10 @@ func (n *Network) Restore(state snapshot.State) {
 	if !ok {
 		panic("simnet: Network.Restore on foreign state")
 	}
-	n.stats = st.stats
+	if len(n.pools) > 1 {
+		panic("simnet: Restore requires the sequential network")
+	}
+	n.statsh[0] = st.stats
 	n.ruleSeq = st.ruleSeq
 	clear(n.rules)
 	for id, r := range st.rules {
@@ -150,11 +167,12 @@ func (n *Network) Restore(state snapshot.State) {
 	n.lossyIfaces = st.lossyIfaces
 	n.jitterBound = append(n.jitterBound[:0], st.jitterBound...)
 	n.jitterIfaces = st.jitterIfaces
-	if len(st.deliveries) > len(n.deliveries) {
+	p := &n.pools[0]
+	if len(st.deliveries) > len(p.all) {
 		panic("simnet: Network.Restore state from a different network history")
 	}
-	n.deliveries = n.deliveries[:len(st.deliveries)]
-	for i, d := range n.deliveries {
+	p.all = p.all[:len(st.deliveries)]
+	for i, d := range p.all {
 		ds := st.deliveries[i]
 		d.dst = ds.dst
 		d.from = ds.from
@@ -163,7 +181,22 @@ func (n *Network) Restore(state snapshot.State) {
 		d.control = ds.control
 		d.next = ds.next
 	}
-	n.freeDeliveries = st.freeHead
+	p.free = st.freeHead
+	if len(n.virt) > len(st.virtIDs) {
+		// Virtual streams created since the checkpoint: the scheduler's
+		// Restore already truncated their sources out of its registry, so
+		// the cached rand.Rand objects are orphaned. Drop them; replayed
+		// sends re-derive identical fresh streams on first use.
+		keep := make(map[NodeID]bool, len(st.virtIDs))
+		for _, id := range st.virtIDs {
+			keep[id] = true
+		}
+		for id := range n.virt {
+			if !keep[id] {
+				delete(n.virt, id)
+			}
+		}
+	}
 	if cm := n.conns; cm != nil {
 		cm.downs = st.downs
 		cm.reconns = st.reconns
