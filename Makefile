@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify verify-race ci specs lint bench bench-smoke bench-scale bench-parallel figures clean
+.PHONY: all build vet test race verify verify-race ci specs lint bench bench-smoke bench-scale bench-parallel bench-gossip figures clean
 
 all: verify
 
@@ -89,6 +89,15 @@ bench-scale:
 # validators for smoke runs; the committed report uses the default.
 bench-parallel:
 	$(GO) run ./cmd/stabl bench -parallel-out BENCH_parallel.json $(SCALE_FLAGS)
+
+# bench-gossip regenerates the committed gossip-overlay report: the scale
+# deployments rerun over the legacy full mesh and the kadcast broadcast
+# overlay, reporting sends per broadcast origin — the mesh pays n-1, kadcast
+# must stay near O(fanout * log n) at 10240 validators (see
+# internal/kernelbench/gossip.go). SCALE_FLAGS=-scale-short caps it at 512
+# validators for smoke runs; the committed report uses the default.
+bench-gossip:
+	$(GO) run ./cmd/stabl bench -gossip-out BENCH_gossip.json $(SCALE_FLAGS)
 
 # figures regenerates every SVG artifact of the paper into ./out.
 figures:

@@ -30,7 +30,8 @@
 //	bench           kernel benchmark suite, written to BENCH_kernel.json,
 //	                plus the fork-vs-replay suite in BENCH_fork.json;
 //	                -scale-out runs the committee scale suite instead,
-//	                -parallel-out the parallel-kernel speedup suite
+//	                -parallel-out the parallel-kernel speedup suite,
+//	                -gossip-out the mesh-vs-kadcast gossip overlay suite
 //	lint            determinism static analysis: stabl lint [packages]
 //
 // Flags select the system, fault, seed and deployment size, and may come
@@ -80,6 +81,7 @@ func run(args []string, out io.Writer) error {
 		flows      = fs.Int("flows", 0, "aggregate the client population into this many flow generators (0 = one event loop per client)")
 		flowAccts  = fs.Int("flow-accounts", 0, "modeled accounts per flow generator (0 = library default; only with -flows)")
 		noConn     = fs.Bool("no-conn", false, "skip the O(clients*validators) managed connection layer (recommended for runs past ~100 validators)")
+		overlayTop = fs.String("overlay", "", "route validator gossip over a structured overlay: kadcast|regular|ring (empty = legacy full mesh)")
 		system     = fs.String("system", "Redbelly", "system for the run command")
 		fault      = fs.String("fault", "none", "fault for the run command: none|crash|transient|partition|secure-client|slow")
 		scenName   = fs.String("scenario", "", "canned scenario name for the scenario command (see `stabl scenario -list`)")
@@ -109,7 +111,8 @@ func run(args []string, out io.Writer) error {
 		forkOut    = fs.String("fork-out", "BENCH_fork.json", "fork-vs-replay report file for the bench command")
 		benchFull  = fs.Bool("bench-full", false, "bench command: also replay the Fig 7 matrix (40 runs; slow)")
 		scaleOut   = fs.String("scale-out", "", "bench command: run only the scale suite (committee-mode Algorand at 512-10240 validators with flow workloads) and write its report to this file")
-		scaleShort = fs.Bool("scale-short", false, "bench command: cap the scale and parallel suites at 512 validators (smoke runs)")
+		gossipOut  = fs.String("gossip-out", "", "bench command: run only the gossip suite (mesh vs kadcast overlay at 512-10240 validators) and write its report to this file")
+		scaleShort = fs.Bool("scale-short", false, "bench command: cap the scale, parallel and gossip suites at 512 validators (smoke runs)")
 		parOut     = fs.String("parallel-out", "", "bench command: run only the parallel-kernel suite (sequential vs SimWorkers 1/2/4/8 on the scale cells) and write its report to this file")
 		simWorkers = fs.Int("sim-workers", 0, "run the simulation on the conservative parallel kernel with this many partition queues (0 = sequential; outputs are byte-identical either way)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
@@ -177,6 +180,13 @@ func run(args []string, out io.Writer) error {
 		DisableConnLayer: *noConn,
 		SimWorkers:       *simWorkers,
 		Fault:            stabl.FaultPlan{InjectAt: *inject, RecoverAt: *recover},
+	}
+	if *overlayTop != "" {
+		kind, err := stabl.ParseOverlayKind(*overlayTop)
+		if err != nil {
+			return err
+		}
+		cfg.Overlay = stabl.OverlayConfig{Topology: kind}
 	}
 
 	switch cmd := command; cmd {
@@ -393,6 +403,34 @@ func run(args []string, out io.Writer) error {
 				return parRep.WriteJSON(out)
 			}
 			return parRep.WriteText(out)
+		}
+		if *gossipOut != "" {
+			// The gossip suite replaces the figure/micro/fork suites: it
+			// reruns the scale deployments once over the mesh and once over
+			// the kadcast overlay and reports sends per broadcast origin.
+			gf, err := os.Create(*gossipOut)
+			if err != nil {
+				return err
+			}
+			gossipRep, err := kernelbench.RunGossip(kernelbench.Options{
+				Short:    *scaleShort,
+				Progress: func(name string) { fmt.Fprintln(os.Stderr, "bench:", name) },
+			})
+			if err != nil {
+				gf.Close()
+				return err
+			}
+			if err := gossipRep.WriteJSON(gf); err != nil {
+				gf.Close()
+				return err
+			}
+			if err := gf.Close(); err != nil {
+				return err
+			}
+			if *jsonOut {
+				return gossipRep.WriteJSON(out)
+			}
+			return gossipRep.WriteText(out)
 		}
 		if *scaleOut != "" {
 			// The scale suite replaces the figure/micro/fork suites: its

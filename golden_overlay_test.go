@@ -1,0 +1,192 @@
+package stabl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGoldenOverlaySeed42 pins the exact scores, commit counts, scheduler
+// event counts and overlay routing counters of the seed-42 crash comparison
+// for all five chains routed over the kadcast broadcast overlay. Like
+// TestGoldenSeed42Scores this is a determinism witness, but for the overlay
+// path specifically: topology derivation, duplicate suppression, delegate
+// rotation and the tightened per-pair lookahead must all replay
+// byte-for-byte across processes and machines. The overlay counters also pin
+// the routing efficiency — OriginSends/Origins is the per-broadcast cost the
+// structured overlay claims over the mesh's n-1.
+func TestGoldenOverlaySeed42(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overlay golden pin skipped in -short mode")
+	}
+	golden := []struct {
+		system      string
+		score       float64
+		baseline    int
+		altered     int
+		events      uint64
+		origins     uint64
+		originSends uint64
+		relayed     uint64
+		duplicates  uint64
+	}{
+		{"Algorand", 0.87286778786296537, 23730, 23446, 648475, 25085, 210306, 418101, 361195},
+		{"Aptos", 10.191567569384517, 23898, 23822, 538600, 24975, 209724, 364721, 282605},
+		{"Avalanche", 8.692699551527113, 23288, 23217, 725772, 58, 447, 1045, 879},
+		{"Redbelly", 0.43627692854750633, 23947, 23865, 283369, 9259, 77397, 134205, 108512},
+		{"Solana", 2.9413722128703768, 23909, 23833, 775372, 86891, 482357, 389916, 299770},
+	}
+	for _, want := range golden {
+		sys, err := SystemByName(want.system)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			System:   sys,
+			Seed:     42,
+			Duration: 120 * time.Second,
+			Overlay:  OverlayConfig{Topology: "kadcast"},
+			Fault:    FaultPlan{Kind: FaultCrash, InjectAt: 40 * time.Second, RecoverAt: 80 * time.Second},
+		}
+		cmp, err := Compare(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", want.system, err)
+		}
+		if cmp.Score.Infinite {
+			t.Errorf("%s: score became infinite, want %v", want.system, want.score)
+			continue
+		}
+		if cmp.Score.Value != want.score {
+			t.Errorf("%s: score = %.17g, want %.17g", want.system, cmp.Score.Value, want.score)
+		}
+		if cmp.Baseline.UniqueCommits != want.baseline || cmp.Altered.UniqueCommits != want.altered {
+			t.Errorf("%s: commits = %d/%d, want %d/%d", want.system,
+				cmp.Baseline.UniqueCommits, cmp.Altered.UniqueCommits, want.baseline, want.altered)
+		}
+		if cmp.Altered.Events != want.events {
+			t.Errorf("%s: altered run fired %d events, want %d", want.system, cmp.Altered.Events, want.events)
+		}
+		ov := cmp.Altered.Overlay
+		if ov.Origins != want.origins || ov.OriginSends != want.originSends ||
+			ov.Relayed != want.relayed || ov.Duplicates != want.duplicates {
+			t.Errorf("%s: overlay counters = {origins=%d sends=%d relayed=%d dups=%d}, want {%d %d %d %d}",
+				want.system, ov.Origins, ov.OriginSends, ov.Relayed, ov.Duplicates,
+				want.origins, want.originSends, want.relayed, want.duplicates)
+		}
+		// The structural claim behind the counters: per-origin cost well
+		// below the mesh's n-1 = 9 sends at this deployment size would be
+		// meaningless, but the delegate fan-out must at least never exceed
+		// the full peer set.
+		if ov.Origins > 0 && ov.SendsPerBroadcast() > 9 {
+			t.Errorf("%s: %f sends/broadcast exceeds the n-1 mesh cost", want.system, ov.SendsPerBroadcast())
+		}
+	}
+}
+
+// TestGoldenOverlayParallelInvariance is the overlay acceptance check for the
+// parallel kernel: with the kadcast overlay configured (and with it the
+// tightened per-pair lookahead horizon), every chain's seed-42 run is
+// byte-identical at SimWorkers 1, 2 and 4 to the sequential run.
+func TestGoldenOverlayParallelInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overlay parallel invariance skipped in -short mode")
+	}
+	for _, sys := range Systems() {
+		cfg := Config{
+			System:   sys,
+			Seed:     42,
+			Duration: 60 * time.Second,
+			Overlay:  OverlayConfig{Topology: "kadcast"},
+		}
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", sys.Name(), err)
+		}
+		want := resultFingerprint(seq)
+		for _, workers := range []int{1, 2, 4} {
+			cp := cfg
+			s, err := SystemByName(sys.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp.System = s
+			cp.SimWorkers = workers
+			par, err := Run(cp)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", sys.Name(), workers, err)
+			}
+			if par.SimWorkers != workers {
+				t.Errorf("%s P=%d: run reported SimWorkers=%d (parallel kernel not engaged)",
+					sys.Name(), workers, par.SimWorkers)
+			}
+			if got := resultFingerprint(par); got != want {
+				t.Errorf("%s P=%d: overlay run diverged from sequential\nseq commits=%d events=%d\npar commits=%d events=%d",
+					sys.Name(), workers, seq.UniqueCommits, seq.Events, par.UniqueCommits, par.Events)
+			}
+			if par.Overlay != seq.Overlay {
+				t.Errorf("%s P=%d: overlay counters %+v, sequential %+v",
+					sys.Name(), workers, par.Overlay, seq.Overlay)
+			}
+		}
+	}
+}
+
+// TestGoldenEclipseSeed42 pins the eclipse scenario — victims severed from
+// exactly their overlay neighborhoods — on the two chains whose gossip
+// dependence differs most: Redbelly's reliable-broadcast consensus shrugs it
+// off while Algorand's pull-gossip committee pipeline degrades hard. The pin
+// covers the whole eclipse path: Env.Neighbors lowering, per-victim
+// partition expansion and the single group heal.
+func TestGoldenEclipseSeed42(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eclipse golden pin skipped in -short mode")
+	}
+	golden := []struct {
+		system   string
+		score    float64
+		baseline int
+		altered  int
+		events   uint64
+	}{
+		{"Redbelly", 0.26601424083552416, 23947, 23931, 326501},
+		{"Algorand", 310.13081646367505, 23730, 21057, 610261},
+	}
+	for _, want := range golden {
+		sys, err := SystemByName(want.system)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := BuiltinScenario("eclipse", 120*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			System:   sys,
+			Seed:     42,
+			Duration: 120 * time.Second,
+			Overlay:  OverlayConfig{Topology: "kadcast"},
+			Scenario: sc,
+		}
+		cmp, err := Compare(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", want.system, err)
+		}
+		if cmp.Score.Infinite {
+			t.Errorf("%s: score became infinite, want %v", want.system, want.score)
+			continue
+		}
+		if cmp.Score.Value != want.score {
+			t.Errorf("%s: score = %.17g, want %.17g", want.system, cmp.Score.Value, want.score)
+		}
+		if cmp.Baseline.UniqueCommits != want.baseline || cmp.Altered.UniqueCommits != want.altered {
+			t.Errorf("%s: commits = %d/%d, want %d/%d", want.system,
+				cmp.Baseline.UniqueCommits, cmp.Altered.UniqueCommits, want.baseline, want.altered)
+		}
+		if cmp.Altered.Events != want.events {
+			t.Errorf("%s: altered run fired %d events, want %d", want.system, cmp.Altered.Events, want.events)
+		}
+	}
+}

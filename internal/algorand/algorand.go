@@ -459,6 +459,10 @@ func (v *validator) evidenceThreshold(round int) int {
 
 // Deliver implements simnet.Handler.
 func (v *validator) Deliver(from simnet.NodeID, payload any) {
+	payload, ok := v.base.Unwrap(from, payload)
+	if !ok {
+		return
+	}
 	if v.base.HandleClient(from, payload) {
 		return
 	}
@@ -487,10 +491,20 @@ func (v *validator) Deliver(from simnet.NodeID, payload any) {
 }
 
 func (v *validator) pushGossip(tx chain.Tx) {
-	v.ctx.Broadcast(v.base.Peers, txGossip{Tx: tx})
+	v.base.Broadcast(txGossip{Tx: tx})
 }
 
 func (v *validator) pull() {
+	if v.base.Gossips() {
+		// Overlay mode: pull only from overlay neighbors (they never
+		// include the local node). Exactly one rngPull draw either way.
+		ns := v.base.Neighbors()
+		if len(ns) == 0 {
+			return
+		}
+		v.ctx.Send(ns[v.rngPull.Intn(len(ns))], pullReq{})
+		return
+	}
 	peer := v.base.Peers[v.rngPull.Intn(len(v.base.Peers))]
 	if peer == v.base.ID {
 		return
@@ -541,7 +555,7 @@ func (v *validator) propose(round int) {
 		Proposer: v.base.ID,
 		Txs:      v.base.ProposalTxs(v.cfg.MaxBlockTxs),
 	}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 	v.onProposal(msg)
 }
 
@@ -580,7 +594,7 @@ func (v *validator) bestProposal(round int) *proposalMsg {
 
 func (v *validator) castVote(round, stage int, proposer simnet.NodeID) {
 	msg := voteMsg{Round: round, Stage: stage, Voter: v.base.ID, Proposer: proposer}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 	v.onVote(msg)
 }
 
@@ -709,7 +723,7 @@ func (v *validator) onRoundStuck(round int) {
 	// survive this handler.
 	if v.seated(round, stepNext) {
 		msg := nextMsg{Round: round, Voter: v.base.ID}
-		v.ctx.Broadcast(v.base.Peers, msg)
+		v.base.Broadcast(msg)
 		v.roundTimer = v.ctx.After(v.filterTO+v.cfg.CertTimeout, func() { v.onRoundStuck(round) })
 		v.onNext(msg)
 		return

@@ -228,6 +228,10 @@ func (v *validator) ViewJumps() uint64 { return v.viewJumps }
 
 // Deliver implements simnet.Handler.
 func (v *validator) Deliver(from simnet.NodeID, payload any) {
+	payload, ok := v.base.Unwrap(from, payload)
+	if !ok {
+		return
+	}
 	if v.base.HandleClient(from, payload) {
 		return
 	}
@@ -251,7 +255,7 @@ func (v *validator) Deliver(from simnet.NodeID, payload any) {
 // gossipTx broadcasts a locally submitted transaction to every validator so
 // any leader can include it (Aptos' shared mempool).
 func (v *validator) gossipTx(tx chain.Tx) {
-	v.ctx.Broadcast(v.base.Peers, txGossip{Tx: tx})
+	v.base.Broadcast(txGossip{Tx: tx})
 }
 
 func (v *validator) onTxGossip(msg txGossip) {
@@ -328,7 +332,7 @@ func (v *validator) propose(round int) {
 	txs := v.base.ProposalTxs(v.cfg.MaxBlockTxs)
 	v.proposed[round] = txs
 	msg := proposalMsg{Round: round, Height: height, Leader: v.base.ID, Txs: txs}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 	v.onProposal(msg) // count self
 }
 
@@ -345,9 +349,14 @@ func (v *validator) onProposal(msg proposalMsg) {
 		return
 	}
 	vote := voteMsg{Round: msg.Round, Height: msg.Height, Voter: v.base.ID}
-	if msg.Leader == v.base.ID {
+	switch {
+	case msg.Leader == v.base.ID:
 		v.onVote(vote)
-	} else {
+	case v.base.Gossips():
+		// Overlay mode: the leader may not be an overlay neighbor, so the
+		// vote travels the broadcast tree instead of a direct send.
+		v.base.Broadcast(vote)
+	default:
 		v.ctx.Send(msg.Leader, vote)
 	}
 }
@@ -355,6 +364,14 @@ func (v *validator) onProposal(msg proposalMsg) {
 func (v *validator) onVote(msg voteMsg) {
 	if msg.Round != v.round || v.committed[msg.Round] {
 		return
+	}
+	if v.base.Gossips() {
+		// Votes are broadcast over the overlay, so every validator sees
+		// them; only the round's proposer tallies — it alone holds the
+		// proposal content a certificate would certify.
+		if _, mine := v.proposed[msg.Round]; !mine {
+			return
+		}
 	}
 	votes, ok := v.votes[msg.Round]
 	if !ok {
@@ -374,7 +391,7 @@ func (v *validator) onVote(msg voteMsg) {
 		DecidedAt: v.ctx.Now(),
 	}
 	msgOut := commitMsg{Round: msg.Round, Block: block}
-	v.ctx.Broadcast(v.base.Peers, msgOut)
+	v.base.Broadcast(msgOut)
 	v.handleCommit(msgOut)
 }
 
@@ -398,7 +415,7 @@ func (v *validator) onLocalTimeout(round int) {
 	}
 	v.base.Consensus(metrics.EventTimeout, round, v.leader(round), "pacemaker timeout")
 	msg := timeoutMsg{Round: round, Voter: v.base.ID}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 	// Keep the pacemaker alive: re-arm so the timeout is re-broadcast
 	// until the round advances. Without this a network that temporarily
 	// lost its quorum would never re-assemble one.

@@ -298,6 +298,10 @@ func (v *validator) ConfidenceResets() uint64 { return v.resets }
 // through the inbound throttler; block-sync replies bypass it like the
 // dedicated handler threads they use in AvalancheGo.
 func (v *validator) Deliver(from simnet.NodeID, payload any) {
+	payload, ok := v.base.Unwrap(from, payload)
+	if !ok {
+		return
+	}
 	if v.base.HandleSync(from, payload) {
 		return
 	}
@@ -443,7 +447,7 @@ func (v *validator) onSlot() {
 		Proposer: v.base.ID,
 		Txs:      txs,
 	}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 	v.onProposal(msg)
 }
 
@@ -533,12 +537,20 @@ func (v *validator) samplePeers() []simnet.NodeID {
 }
 
 func (v *validator) samplePeersN(k int) []simnet.NodeID {
+	// Overlay mode confines sampling (queries and tx gossip alike) to the
+	// node's overlay neighborhood, so all validator traffic stays on
+	// overlay edges. Validator ids double as stake indices (the deployment
+	// assigns ids 0..n-1 matching Peers positions).
+	candidates := v.base.Peers
+	if v.base.Gossips() {
+		candidates = v.base.Neighbors()
+	}
 	type keyed struct {
 		id  simnet.NodeID
 		key float64
 	}
-	others := make([]keyed, 0, v.n-1)
-	for i, p := range v.base.Peers {
+	others := make([]keyed, 0, len(candidates))
+	for _, p := range candidates {
 		if p == v.base.ID {
 			continue
 		}
@@ -546,7 +558,7 @@ func (v *validator) samplePeersN(k int) []simnet.NodeID {
 		// key = -ln(u)/stake; the k smallest keys form the sample with
 		// inclusion probability proportional to stake.
 		u := 1 - v.rngF()
-		others = append(others, keyed{id: p, key: -math.Log(u) / v.stake(i)})
+		others = append(others, keyed{id: p, key: -math.Log(u) / v.stake(int(p))})
 	}
 	sort.Slice(others, func(a, b int) bool { return others[a].key < others[b].key })
 	if len(others) > k {

@@ -26,10 +26,12 @@ type familyKey struct {
 	scenario  string
 	injectSec float64
 	outageSec float64
-	// committee joins the key because the committee size changes the whole
-	// run from the first round, not just the post-fault suffix: prefixes
-	// with different committee sizes are never byte-identical.
+	// committee and overlay join the key because they change the whole run
+	// from the first round, not just the post-fault suffix: prefixes with
+	// different committee sizes or gossip topologies are never
+	// byte-identical.
 	committee int
+	overlay   string
 }
 
 // family returns the cell's checkpoint family, or ok=false when the cell
@@ -41,7 +43,7 @@ func (c Cell) family() (familyKey, bool) {
 		// Intensity scales magnitudes only (loss rate, delay, jitter);
 		// the compiled timeline's instants and action count are fixed.
 		return familyKey{system: c.System, seed: c.Seed, scenario: c.Scenario,
-			committee: c.CommitteeSize}, true
+			committee: c.CommitteeSize, overlay: c.Overlay}, true
 	}
 	kind, err := core.ParseFaultKind(c.Fault)
 	if err != nil || !kind.NeedsNodes() {
@@ -50,7 +52,7 @@ func (c Cell) family() (familyKey, bool) {
 	return familyKey{
 		system: c.System, seed: c.Seed, fault: c.Fault,
 		injectSec: c.InjectSec, outageSec: c.OutageSec,
-		committee: c.CommitteeSize,
+		committee: c.CommitteeSize, overlay: c.Overlay,
 	}, true
 }
 

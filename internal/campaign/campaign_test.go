@@ -333,3 +333,41 @@ func TestExpandCommitteeAxis(t *testing.T) {
 		t.Fatalf("size-0 cell renamed classic coordinate: %q vs %q", full.Key(), base[0].Key())
 	}
 }
+
+// TestAggregatePointsKeepsAxisCoordinates is the regression guard for the
+// seed-grouping lookup: cells that differ only in an axis field (overlay,
+// committee size) must aggregate into distinct points carrying their own
+// scores — not all be served the statistics of the axis-less variant.
+func TestAggregatePointsKeepsAxisCoordinates(t *testing.T) {
+	mk := func(overlay string, committee int, score float64) *CellResult {
+		return &CellResult{
+			Cell: Cell{System: "Stub", Fault: "crash", Count: 1, InjectSec: 15,
+				Overlay: overlay, CommitteeSize: committee, Seed: 1},
+			Score: score,
+		}
+	}
+	cells := []*CellResult{
+		mk("", 0, 1.0),
+		mk("kadcast", 0, 2.0),
+		mk("ring", 0, 3.0),
+		mk("", 16, 4.0),
+	}
+	points := aggregatePoints(cells)
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4 (one per axis coordinate)", len(points))
+	}
+	labels := make(map[string]bool)
+	for i, p := range points {
+		if p.Runs != 1 {
+			t.Errorf("point %d (%s): filled with %d runs, want exactly its own cell", i, p, p.Runs)
+		}
+		if p.MedianScore != cells[i].Score {
+			t.Errorf("point %d (overlay=%q committee=%d): score %v, want %v",
+				i, p.Overlay, p.CommitteeSize, p.MedianScore, cells[i].Score)
+		}
+		labels[p.String()] = true
+	}
+	if len(labels) != 4 {
+		t.Fatalf("rendered labels collapsed: %v", labels)
+	}
+}

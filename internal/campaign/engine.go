@@ -159,6 +159,9 @@ func cellConfig(spec Spec, cell Cell, resolve func(string) (chain.System, error)
 	cellSpec.System = cell.System
 	cellSpec.Seed = cell.Seed
 	cellSpec.CommitteeSize = cell.CommitteeSize
+	// The cell sweeps the topology name only; the template's overlay tuning
+	// (fanout, bucket size, …) applies to every swept topology alike.
+	cellSpec.Overlay.Topology = cell.Overlay
 	if cell.Scenario != "" {
 		sc, ok := spec.scenarioByName(cell.Scenario)
 		if !ok {
@@ -241,10 +244,10 @@ func runCell(spec Spec, cell Cell, opts Options, baselines *baselineCache) (res 
 
 // baselineCache shares fault-free baseline runs across cells. Within one
 // campaign every cell uses the same deployment template, so the baseline is
-// fully determined by (system, seed, committee size): a grid of dozens of
-// fault cells pays for each baseline once instead of once per cell. The
-// committee size joins the key because it changes the fault-free run itself,
-// unlike the swept fault dimensions.
+// fully determined by (system, seed, committee size, overlay): a grid of
+// dozens of fault cells pays for each baseline once instead of once per cell.
+// Committee size and overlay topology join the key because they change the
+// fault-free run itself, unlike the swept fault dimensions.
 type baselineCache struct {
 	mu sync.Mutex
 	m  map[baselineKey]*baselineEntry
@@ -254,6 +257,7 @@ type baselineKey struct {
 	system    string
 	seed      int64
 	committee int
+	overlay   string
 }
 
 type baselineEntry struct {
@@ -267,7 +271,7 @@ func newBaselineCache() *baselineCache {
 }
 
 func (c *baselineCache) get(system string, seed int64, cfg core.Config) (*core.RunResult, error) {
-	key := baselineKey{system: system, seed: seed, committee: cfg.CommitteeSize}
+	key := baselineKey{system: system, seed: seed, committee: cfg.CommitteeSize, overlay: cfg.Overlay.Topology}
 	c.mu.Lock()
 	e := c.m[key]
 	if e == nil {

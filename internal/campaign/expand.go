@@ -27,8 +27,11 @@ type Cell struct {
 	Intensity float64 `json:"intensity,omitempty"`
 	// CommitteeSize is the sortition committee size the cell deploys with
 	// (0 = full membership); the campaign's scale axis.
-	CommitteeSize int   `json:"committeeSize,omitempty"`
-	Seed          int64 `json:"seed"`
+	CommitteeSize int `json:"committeeSize,omitempty"`
+	// Overlay is the gossip-overlay topology the cell deploys with
+	// ("" = legacy full mesh); the campaign's overlay axis.
+	Overlay string `json:"overlay,omitempty"`
+	Seed    int64  `json:"seed"`
 }
 
 // Key renders the cell's coordinate without the seed, the grouping unit for
@@ -39,6 +42,9 @@ func (c Cell) Key() string {
 	comm := ""
 	if c.CommitteeSize > 0 {
 		comm = fmt.Sprintf(" committee=%d", c.CommitteeSize)
+	}
+	if c.Overlay != "" {
+		comm += fmt.Sprintf(" overlay=%s", c.Overlay)
 	}
 	if c.Scenario != "" {
 		return fmt.Sprintf("%s/scenario:%s x%g%s", c.System, c.Scenario, c.Intensity, comm)
@@ -57,6 +63,9 @@ func (c Cell) Slug() string {
 	if c.CommitteeSize > 0 {
 		comm = fmt.Sprintf("-c%d", c.CommitteeSize)
 	}
+	if c.Overlay != "" {
+		comm += fmt.Sprintf("-ov-%s", c.Overlay)
+	}
 	if c.Scenario != "" {
 		return fmt.Sprintf("%s-scenario-%s-x%g%s-seed%d",
 			strings.ToLower(c.System), c.Scenario, c.Intensity, comm, c.Seed)
@@ -66,11 +75,11 @@ func (c Cell) Slug() string {
 		c.InjectSec, c.OutageSec, c.SlowBySec, comm, c.Seed)
 }
 
-// expand materializes the spec's grid: systems × committee sizes × faults ×
-// counts × inject times × outages × slow-bys × seeds, with inapplicable
-// dimensions collapsed per fault kind so the grid holds no duplicate
-// coordinates. The order is deterministic: dimensions nest in the order
-// above, seeds vary fastest.
+// expand materializes the spec's grid: systems × committee sizes × overlays ×
+// faults × counts × inject times × outages × slow-bys × seeds, with
+// inapplicable dimensions collapsed per fault kind so the grid holds no
+// duplicate coordinates. The order is deterministic: dimensions nest in the
+// order above, seeds vary fastest.
 func expand(spec Spec, resolve func(string) (chain.System, error)) ([]Cell, error) {
 	validators := spec.Base.Validators
 	if validators == 0 {
@@ -85,58 +94,62 @@ func expand(spec Spec, resolve func(string) (chain.System, error)) ([]Cell, erro
 		}
 		tolerance := sys.Tolerance(validators)
 		for _, committee := range spec.CommitteeSizes {
-			for _, faultName := range spec.Faults {
-				kind, err := core.ParseFaultKind(faultName)
-				if err != nil {
-					return nil, err
-				}
+			for _, ov := range spec.Overlays {
+				for _, faultName := range spec.Faults {
+					kind, err := core.ParseFaultKind(faultName)
+					if err != nil {
+						return nil, err
+					}
 
-				counts := []int{0}
-				injects := []float64{0}
-				if kind.NeedsNodes() {
-					counts = resolveCounts(tolerance, spec.CountDeltas)
-					injects = spec.InjectSecs
-				}
-				outages := []float64{0}
-				if kind.Recovers() {
-					outages = spec.OutageSecs
-				}
-				slows := []float64{0}
-				if kind == core.FaultSlow {
-					slows = spec.SlowBySecs
-				}
+					counts := []int{0}
+					injects := []float64{0}
+					if kind.NeedsNodes() {
+						counts = resolveCounts(tolerance, spec.CountDeltas)
+						injects = spec.InjectSecs
+					}
+					outages := []float64{0}
+					if kind.Recovers() {
+						outages = spec.OutageSecs
+					}
+					slows := []float64{0}
+					if kind == core.FaultSlow {
+						slows = spec.SlowBySecs
+					}
 
-				for _, count := range counts {
-					for _, inject := range injects {
-						for _, outage := range outages {
-							for _, slow := range slows {
-								for _, seed := range spec.Seeds {
-									cells = append(cells, Cell{
-										System:        sysName,
-										Fault:         faultName,
-										Count:         count,
-										InjectSec:     inject,
-										OutageSec:     outage,
-										SlowBySec:     slow,
-										CommitteeSize: committee,
-										Seed:          seed,
-									})
+					for _, count := range counts {
+						for _, inject := range injects {
+							for _, outage := range outages {
+								for _, slow := range slows {
+									for _, seed := range spec.Seeds {
+										cells = append(cells, Cell{
+											System:        sysName,
+											Fault:         faultName,
+											Count:         count,
+											InjectSec:     inject,
+											OutageSec:     outage,
+											SlowBySec:     slow,
+											CommitteeSize: committee,
+											Overlay:       ov,
+											Seed:          seed,
+										})
+									}
 								}
 							}
 						}
 					}
 				}
-			}
-			for _, sc := range spec.Scenarios {
-				for _, intensity := range spec.Intensities {
-					for _, seed := range spec.Seeds {
-						cells = append(cells, Cell{
-							System:        sysName,
-							Scenario:      sc.Name,
-							Intensity:     intensity,
-							CommitteeSize: committee,
-							Seed:          seed,
-						})
+				for _, sc := range spec.Scenarios {
+					for _, intensity := range spec.Intensities {
+						for _, seed := range spec.Seeds {
+							cells = append(cells, Cell{
+								System:        sysName,
+								Scenario:      sc.Name,
+								Intensity:     intensity,
+								CommitteeSize: committee,
+								Overlay:       ov,
+								Seed:          seed,
+							})
+						}
 					}
 				}
 			}

@@ -56,6 +56,11 @@ type Point struct {
 	SlowBySec float64 `json:"slowBySec,omitempty"`
 	Scenario  string  `json:"scenario,omitempty"`
 	Intensity float64 `json:"intensity,omitempty"`
+	// CommitteeSize and Overlay carry the scale and overlay axes; without
+	// them the point's coordinate is ambiguous whenever either axis is
+	// active, and the seed-grouping lookup would collapse distinct cells.
+	CommitteeSize int    `json:"committeeSize,omitempty"`
+	Overlay       string `json:"overlay,omitempty"`
 
 	Runs         int `json:"runs"`
 	FailedRuns   int `json:"failedRuns,omitempty"`
@@ -81,11 +86,20 @@ func (p *Point) severity() float64 {
 	return lost*1e9 + p.MedianScore
 }
 
+// cellKey reconstructs the full cell coordinate the point aggregates. It
+// must round-trip every Cell field except the seed: aggregatePoints keys its
+// seed groups by Cell.Key(), so a field missing here silently merges cells
+// that differ only in that field.
+func (p *Point) cellKey() string {
+	return Cell{System: p.System, Fault: p.Fault, Count: p.Count,
+		InjectSec: p.InjectSec, OutageSec: p.OutageSec, SlowBySec: p.SlowBySec,
+		Scenario: p.Scenario, Intensity: p.Intensity,
+		CommitteeSize: p.CommitteeSize, Overlay: p.Overlay}.Key()
+}
+
 // String renders one aggregated coordinate.
 func (p *Point) String() string {
-	key := Cell{System: p.System, Fault: p.Fault, Count: p.Count,
-		InjectSec: p.InjectSec, OutageSec: p.OutageSec, SlowBySec: p.SlowBySec,
-		Scenario: p.Scenario, Intensity: p.Intensity}.Key()
+	key := p.cellKey()
 	if p.FailedRuns+p.InfiniteRuns > 0 {
 		return fmt.Sprintf("%-44s inf/failed %d of %d runs", key, p.FailedRuns+p.InfiniteRuns, p.Runs)
 	}
@@ -259,17 +273,15 @@ func aggregatePoints(cells []*CellResult) []*Point {
 		if p == nil {
 			p = &Point{System: c.System, Fault: c.Fault, Count: c.Count,
 				InjectSec: c.InjectSec, OutageSec: c.OutageSec, SlowBySec: c.SlowBySec,
-				Scenario: c.Scenario, Intensity: c.Intensity}
+				Scenario: c.Scenario, Intensity: c.Intensity,
+				CommitteeSize: c.CommitteeSize, Overlay: c.Overlay}
 			index[key] = p
 			points = append(points, p)
 		}
 		grouped[key] = append(grouped[key], c)
 	}
 	for _, p := range points {
-		key := Cell{System: p.System, Fault: p.Fault, Count: p.Count,
-			InjectSec: p.InjectSec, OutageSec: p.OutageSec, SlowBySec: p.SlowBySec,
-			Scenario: p.Scenario, Intensity: p.Intensity}.Key()
-		fill(p, grouped[key])
+		fill(p, grouped[p.cellKey()])
 	}
 	return points
 }
@@ -375,6 +387,9 @@ func summarizeSystem(name string, cells []*CellResult, points []*Point) *SystemS
 		}),
 		surface("committeeSize", own, func(c *CellResult) (string, bool) {
 			return fmt.Sprintf("committee=%d", c.CommitteeSize), c.CommitteeSize > 0
+		}),
+		surface("overlay", own, func(c *CellResult) (string, bool) {
+			return fmt.Sprintf("overlay=%s", c.Overlay), c.Overlay != ""
 		}),
 	}
 

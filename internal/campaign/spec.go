@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"stabl/internal/core"
+	"stabl/internal/overlay"
 	"stabl/internal/scenario"
 )
 
@@ -65,6 +66,11 @@ type Spec struct {
 	// Defaults to {Base.CommitteeSize}, keeping the axis inert unless
 	// declared.
 	CommitteeSizes []int `json:"committeeSizes,omitempty"`
+	// Overlays sweeps the gossip-overlay topology: "" runs the legacy full
+	// mesh, any overlay.Kinds() name routes validator gossip over that
+	// structured overlay (see core.Config.Overlay). Defaults to
+	// {Base.Overlay.Topology}, keeping the axis inert unless declared.
+	Overlays []string `json:"overlays,omitempty"`
 	// Seeds repeat every coordinate; defaults to {1, 2, 3}.
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Sample, when positive and smaller than the full grid, runs only a
@@ -144,6 +150,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.CommitteeSizes) == 0 {
 		s.CommitteeSizes = []int{s.Base.CommitteeSize}
 	}
+	if len(s.Overlays) == 0 {
+		s.Overlays = []string{s.Base.Overlay.Topology}
+	}
 	if len(s.Seeds) == 0 {
 		s.Seeds = []int64{1, 2, 3}
 	}
@@ -180,6 +189,14 @@ func (s Spec) validate() error {
 	for _, v := range s.CommitteeSizes {
 		if v < 0 {
 			return fmt.Errorf("campaign: committeeSizes must be non-negative, got %d", v)
+		}
+	}
+	for _, name := range s.Overlays {
+		if name == "" {
+			continue // legacy mesh
+		}
+		if _, err := overlay.ParseKind(name); err != nil {
+			return fmt.Errorf("campaign: %w", err)
 		}
 	}
 	switch s.Mode {

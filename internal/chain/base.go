@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"stabl/internal/metrics"
+	"stabl/internal/overlay"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 )
@@ -73,6 +74,11 @@ type BaseNode struct {
 	exec      *simnet.TokenBucket
 	rng       *rand.Rand
 	extraExec float64
+	// relay, when set, routes every validator broadcast over a structured
+	// gossip overlay instead of the full mesh; nil preserves the legacy
+	// byte-identical behaviour. Set once at deployment time (SetRelay),
+	// it survives restarts — only its volatile caches clear in Reset.
+	relay *overlay.Router
 
 	// Volatile state, reset on every (re)start.
 	subscribers   map[TxID][]simnet.NodeID
@@ -131,6 +137,52 @@ func (n *BaseNode) Consensus(kind metrics.EventKind, round int, leader simnet.No
 // Config returns the node's base configuration.
 func (n *BaseNode) Config() BaseConfig { return n.cfg }
 
+// SetRelay attaches a structured-gossip router (see internal/overlay). Must
+// be called at deployment time, before the node first starts. With a relay
+// attached, Broadcast travels the overlay, Unwrap filters relayed envelopes
+// and Neighbors/randomPeer restrict to overlay neighbors, so every
+// validator-to-validator message stays on overlay edges.
+func (n *BaseNode) SetRelay(r *overlay.Router) { n.relay = r }
+
+// Relay returns the attached overlay router (nil on the legacy full mesh).
+func (n *BaseNode) Relay() *overlay.Router { return n.relay }
+
+// Gossips reports whether this node disseminates over a structured overlay.
+// Chain models branch on it where overlay routing needs different semantics
+// (e.g. point-to-point vote sends that become broadcasts).
+func (n *BaseNode) Gossips() bool { return n.relay != nil }
+
+// Broadcast disseminates payload to every peer: over the overlay when a
+// relay is attached, otherwise to the full sorted roster. This is the single
+// seam all five chain models broadcast through.
+func (n *BaseNode) Broadcast(payload any) {
+	if n.relay != nil {
+		n.relay.Broadcast(n.ctx, payload)
+		return
+	}
+	n.ctx.Broadcast(n.Peers, payload)
+}
+
+// Unwrap filters one delivered payload through the overlay router: relayed
+// envelopes are deduplicated and forwarded, direct traffic passes through.
+// Chains call it first in Deliver and drop the payload when ok is false.
+func (n *BaseNode) Unwrap(from simnet.NodeID, payload any) (inner any, ok bool) {
+	if n.relay == nil {
+		return payload, true
+	}
+	return n.relay.Unwrap(n.ctx, from, payload)
+}
+
+// Neighbors returns the peers this node may address directly: the overlay
+// neighborhood when a relay is attached, else the full roster (self
+// included — callers that need "others" must still filter, as with Peers).
+func (n *BaseNode) Neighbors() []simnet.NodeID {
+	if n.relay != nil {
+		return n.relay.Neighbors()
+	}
+	return n.Peers
+}
+
 // Reset rebinds the node to a (re)started incarnation, dropping all volatile
 // state. The mempool empties — in-flight transactions die with the process —
 // while the ledger survives.
@@ -145,6 +197,9 @@ func (n *BaseNode) Reset(ctx *simnet.Context) {
 	n.applyingAt = -1
 	n.syncActive = false
 	n.extraExec = 0
+	if n.relay != nil {
+		n.relay.Reset()
+	}
 	if n.cfg.ExecRate > 0 {
 		n.exec = simnet.NewTokenBucket(n.cfg.ExecRate, n.cfg.ExecBurst)
 	} else {
@@ -435,6 +490,16 @@ func (n *BaseNode) nextNeededHeight() int {
 }
 
 func (n *BaseNode) randomPeer() simnet.NodeID {
+	// Overlay mode pulls from direct neighbors only (the list excludes
+	// self), so catch-up traffic stays on overlay edges. Either path costs
+	// exactly one draw from the same stream.
+	if n.relay != nil {
+		ns := n.relay.Neighbors()
+		if len(ns) == 0 {
+			return n.ID
+		}
+		return ns[n.rng.Intn(len(ns))]
+	}
 	others := make([]simnet.NodeID, 0, len(n.Peers))
 	for _, p := range n.Peers {
 		if p != n.ID {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"stabl/internal/overlay"
 	"stabl/internal/sim"
 	"stabl/internal/simnet"
 	"stabl/internal/snapshot"
@@ -171,6 +172,8 @@ type BaseState struct {
 	applyErrors   uint64
 	syncTimer     sim.Timer
 	syncActive    bool
+	relay         overlay.State
+	hasRelay      bool
 }
 
 // SnapshotBase captures the shared validator core: ledger, mempool,
@@ -196,6 +199,10 @@ func (n *BaseNode) SnapshotBase() BaseState {
 	if n.exec != nil {
 		st.execState = n.exec.SnapshotState()
 	}
+	if n.relay != nil {
+		st.relay = n.relay.Snapshot()
+		st.hasRelay = true
+	}
 	for k, v := range n.subscribers {
 		st.subscribers[k] = append([]simnet.NodeID(nil), v...)
 	}
@@ -219,6 +226,9 @@ func (n *BaseNode) RestoreBase(st BaseState) {
 	}
 	n.rng = st.rng
 	n.extraExec = st.extraExec
+	if st.hasRelay {
+		n.relay.Restore(st.relay)
+	}
 	n.subscribers = make(map[TxID][]simnet.NodeID, len(st.subscribers))
 	for k, v := range st.subscribers {
 		n.subscribers[k] = append([]simnet.NodeID(nil), v...)

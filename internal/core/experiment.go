@@ -14,6 +14,7 @@ import (
 	"stabl/internal/client"
 	"stabl/internal/metrics"
 	"stabl/internal/observer"
+	"stabl/internal/overlay"
 	"stabl/internal/parsim"
 	"stabl/internal/scenario"
 	"stabl/internal/sim"
@@ -118,6 +119,16 @@ type Config struct {
 	// rather than O(n). Requires a System that supports committees
 	// (currently Algorand). Zero keeps full-membership consensus.
 	CommitteeSize int
+	// Overlay, when enabled (non-empty Topology), routes every validator
+	// broadcast over a structured gossip overlay (internal/overlay) instead
+	// of the legacy full mesh: kadcast broadcast trees, ring-with-shortcuts
+	// or random regular graphs, with duplicate suppression and stall
+	// detection. All validator-to-validator traffic — relays, replies, pull
+	// gossip, Snowball samples — stays on overlay edges, so per-tx
+	// dissemination costs O(fanout·log n) origin sends instead of O(n). The
+	// zero value keeps the legacy mesh, byte-identical to builds that never
+	// construct an overlay.
+	Overlay overlay.Config
 	// DisableConnLayer skips the managed TCP-like connection layer, whose
 	// per-pair state and heartbeats cost O(Validators^2) — prohibitive at
 	// 10k nodes. Without it, links are always up: partition/crash faults
@@ -245,6 +256,12 @@ func (c Config) validate() error {
 	}
 	if c.CommitteeSize < 0 {
 		return fmt.Errorf("core: negative committee size %d", c.CommitteeSize)
+	}
+	if err := c.Overlay.Validate(); err != nil {
+		return err
+	}
+	if c.Overlay.Enabled() && c.Validators < 2 {
+		return fmt.Errorf("core: overlay needs at least 2 validators, got %d", c.Validators)
 	}
 	if c.CommitteeSize > 0 {
 		if _, ok := c.System.(committeeSystem); !ok {
@@ -448,6 +465,9 @@ type RunResult struct {
 	// across the committed block sequence; always empty for a correct
 	// deployment.
 	IntegrityErrors []string
+	// Overlay aggregates every validator router's counters; all zero when
+	// the run used the legacy full mesh.
+	Overlay overlay.Stats
 	// Parallel-kernel measurements (zero when the run was sequential).
 	// SimWindows counts lookahead windows; SimBusyWall sums every queue's
 	// wall-clock execution time and SimCriticalWall each window's slowest
@@ -554,6 +574,25 @@ func Build(cfg Config) (*Experiment, error) {
 	}
 	if !cfg.DisableConnLayer {
 		net.ManageConns(peers, cfg.System.ConnParams())
+	}
+
+	// Structured gossip overlay: one immutable topology shared read-only by
+	// every validator's Router. Attached before StartAll so the routers are
+	// in place when the chains' Start hooks run; the routers survive node
+	// restarts (only their volatile caches clear in Reset).
+	var topo *overlay.Topology
+	if cfg.Overlay.Enabled() {
+		if len(bases) != len(validators) {
+			return nil, fmt.Errorf("core: system %s does not expose its BaseNode; overlay routing unavailable", cfg.System.Name())
+		}
+		var err error
+		topo, err = overlay.New(cfg.Overlay, cfg.Seed, peers)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bases {
+			b.SetRelay(overlay.NewRouter(topo, b.ID))
+		}
 	}
 
 	// Observers and primary (Fig 2).
@@ -672,6 +711,11 @@ func Build(cfg Config) (*Experiment, error) {
 	// registered; runs whose latency model states no positive lower bound
 	// stay sequential (the conservative kernel needs a lookahead).
 	if cfg.SimWorkers > 0 {
+		if topo != nil {
+			if d := cfg.overlayLookahead(net, topo, lay, len(readers)); d > 0 {
+				net.SetLookahead(d)
+			}
+		}
 		if la := net.Lookahead(); la > 0 {
 			plan := parsim.New(cfg.SimWorkers)
 			vals := make([]int, cfg.Validators)
@@ -759,6 +803,17 @@ func (e *Experiment) Start() {
 				rec.Gauge(now, "mempool_depth", float64(depth))
 				rec.Gauge(now, "client_pending", float64(pending))
 				rec.Gauge(now, "chain_height", float64(e.monitor.MaxHeight()))
+				if e.cfg.Overlay.Enabled() {
+					var ost overlay.Stats
+					for _, b := range e.bases {
+						if r := b.Relay(); r != nil {
+							ost.Add(r.Stats())
+						}
+					}
+					rec.Gauge(now, "overlay_relayed", float64(ost.Relayed))
+					rec.Gauge(now, "overlay_duplicates", float64(ost.Duplicates))
+					rec.Gauge(now, "overlay_stall_skips", float64(ost.StallSkips))
+				}
 			})
 		}
 	}
@@ -850,8 +905,58 @@ func (e *Experiment) Collect() *RunResult {
 		res.ReadMismatches += r.Mismatches()
 		res.ReadDivergences += r.Divergences()
 	}
+	for _, b := range e.bases {
+		if r := b.Relay(); r != nil {
+			res.Overlay.Add(r.Stats())
+		}
+	}
 	res.LivenessLost = res.LastCommitAt < cfg.Duration-cfg.LivenessGrace
 	return res
+}
+
+// overlayLookahead derives the tightest safe parallel horizon for an
+// overlay-confined deployment: the minimum of the latency model's per-pair
+// lower bounds over exactly the directed links that can carry a message —
+// overlay edges between validators, client/flow and reader traffic to and
+// from the validators (flow members send under virtual ids in the modeled
+// clients' range, which this covers), and the control links between the
+// primary and its observers. Returns 0 when the model states no positive
+// per-pair bounds, leaving the model-wide Lookahead in force.
+func (c Config) overlayLookahead(net *simnet.Network, topo *overlay.Topology, lay idLayout, readers int) time.Duration {
+	best := time.Duration(0)
+	usable := true
+	consider := func(a, b simnet.NodeID) {
+		if !usable {
+			return
+		}
+		d, ok := net.PairLowerBound(a, b)
+		if !ok || d <= 0 {
+			usable = false
+			return
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	pair := func(a, b simnet.NodeID) { consider(a, b); consider(b, a) }
+	topo.Edges(pair)
+	for i := 0; i < c.Clients && usable; i++ {
+		for v := 0; v < c.Validators; v++ {
+			pair(simnet.NodeID(lay.clientBase+i), simnet.NodeID(v))
+		}
+	}
+	for i := 0; i < readers && usable; i++ {
+		for v := 0; v < c.Validators; v++ {
+			pair(simnet.NodeID(lay.readerBase+i), simnet.NodeID(v))
+		}
+	}
+	for i := 0; i < c.Validators; i++ {
+		pair(simnet.NodeID(lay.primary), simnet.NodeID(lay.observerBase+i))
+	}
+	if !usable {
+		return 0
+	}
+	return best
 }
 
 // FaultOutline lowers the config's adversarial environment onto the
@@ -880,13 +985,29 @@ func (c Config) FaultOutline() (faulty []simnet.NodeID, script []observer.Action
 // the same nodes, and compiling never perturbs the simulation's own streams.
 func (c Config) compileScenario() (*scenario.Compiled, error) {
 	sched := sim.New(c.Seed)
-	return c.Scenario.Compile(scenario.Env{
+	env := scenario.Env{
 		Validators: c.Validators,
 		Clients:    c.clientFacing(),
 		RNG: func(name string) *rand.Rand {
 			return sched.RNG("scenario/" + name)
 		},
-	})
+	}
+	if c.Overlay.Enabled() {
+		// Eclipse actions target each victim's overlay neighborhood. The
+		// topology is a pure function of (overlay config, seed, ids), so
+		// rebuilding it here resolves the same adjacency Build wires into
+		// the routers.
+		peers := make([]simnet.NodeID, c.Validators)
+		for i := range peers {
+			peers[i] = simnet.NodeID(i)
+		}
+		topo, err := overlay.New(c.Overlay, c.Seed, peers)
+		if err != nil {
+			return nil, err
+		}
+		env.Neighbors = topo.Neighbors
+	}
+	return c.Scenario.Compile(env)
 }
 
 // describeRun stamps the recorder with the run's identity and annotates the

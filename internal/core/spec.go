@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stabl/internal/chain"
+	"stabl/internal/overlay"
 	"stabl/internal/scenario"
 	"stabl/internal/workload"
 )
@@ -47,8 +48,12 @@ type Spec struct {
 	// SimWorkers runs the simulation on the parallel kernel with this many
 	// partition queues; results are byte-identical to sequential. See
 	// Config.SimWorkers.
-	SimWorkers int       `json:"simWorkers,omitempty"`
-	Fault      FaultSpec `json:"fault,omitempty"`
+	SimWorkers int `json:"simWorkers,omitempty"`
+	// Overlay routes validator gossip over a structured broadcast overlay
+	// (kadcast, regular, ring) instead of the legacy full mesh. The zero
+	// value keeps the mesh. See Config.Overlay.
+	Overlay overlay.Config `json:"overlay,omitempty"`
+	Fault   FaultSpec      `json:"fault,omitempty"`
 	// Scenario composes a multi-phase fault timeline instead of the single
 	// fault plan above; mutually exclusive with a non-empty fault kind.
 	Scenario *scenario.Spec `json:"scenario,omitempty"`
@@ -119,6 +124,7 @@ func (s Spec) Config(resolve func(string) (chain.System, error)) (Config, error)
 		CommitteeSize:     s.CommitteeSize,
 		DisableConnLayer:  s.DisableConnLayer,
 		SimWorkers:        s.SimWorkers,
+		Overlay:           s.Overlay,
 	}
 	cfg.Fault = FaultPlan{
 		Count:     s.Fault.Count,

@@ -1,0 +1,146 @@
+package kernelbench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stabl"
+)
+
+// The gossip suite measures the overlay axis end to end: Algorand
+// committee-mode deployments at 512, 2048 and 10240 validators, once over
+// the legacy full mesh and once over the kadcast broadcast overlay. The
+// headline metric is sends per broadcast origin: the mesh pays n-1 sends for
+// every originated broadcast, while kadcast pays O(fanout * log n) — the
+// number must stay near-flat as the validator count grows twentyfold.
+// Reports are committed as BENCH_gossip.json via `stabl bench -gossip-out`
+// (`make bench-gossip`).
+
+// gossipCell is one deployment point of the gossip grid.
+type gossipCell struct {
+	name       string
+	validators int
+	overlay    string // "" = legacy full mesh
+}
+
+// Fixed workload shape shared by every cell, matching the scale suite so
+// mesh-vs-kadcast differences are attributable to the routing alone.
+const (
+	gossipFlows     = 8
+	gossipAccounts  = 256
+	gossipRate      = 0.05
+	gossipClients   = 1024
+	gossipCommittee = 64
+	gossipDuration  = 30 * time.Second
+)
+
+// gossipCells lays out the grid: mesh and kadcast at each node count. short
+// caps the validator count at 512, keeping smoke runs to sub-second cells.
+// The 10240-node mesh cell is skipped even in full runs: its O(n) per-tx
+// gossip is exactly the cost the overlay removes, and paying it for one
+// analytically-known data point (sends/origin = n-1) dominates the whole
+// suite's wall clock.
+func gossipCells(short bool) []gossipCell {
+	var cells []gossipCell
+	for _, n := range []int{512, 2048, 10240} {
+		if short && n > 512 {
+			continue
+		}
+		for _, ov := range []string{"", "kadcast"} {
+			if ov == "" && n > 2048 {
+				continue
+			}
+			label := "mesh"
+			if ov != "" {
+				label = ov
+			}
+			cells = append(cells, gossipCell{
+				name:       fmt.Sprintf("Gossip/n%d/%s", n, label),
+				validators: n, overlay: ov,
+			})
+		}
+	}
+	return cells
+}
+
+// gossipConfig materializes one cell: committee-mode Algorand, flow
+// workload, managed connection layer off, overlay per the cell.
+func gossipConfig(c gossipCell) stabl.Config {
+	return stabl.Config{
+		System:           stabl.NewAlgorand(),
+		Seed:             42,
+		Validators:       c.validators,
+		Clients:          gossipClients,
+		Flows:            gossipFlows,
+		FlowAccounts:     gossipAccounts,
+		RatePerClient:    gossipRate,
+		CommitteeSize:    gossipCommittee,
+		Duration:         gossipDuration,
+		DisableConnLayer: true,
+		Overlay:          stabl.OverlayConfig{Topology: c.overlay},
+	}
+}
+
+// RunGossip executes the gossip suite. Every cell is one deterministic
+// fault-free run; when testing.Benchmark re-enters a fast cell, each
+// iteration must reproduce the first one's event count exactly, so the
+// suite doubles as an overlay determinism witness at scale.
+func RunGossip(opts Options) (*Report, error) {
+	rep := newReportHeader(gossipDuration)
+	for _, cell := range gossipCells(opts.Short) {
+		if opts.Progress != nil {
+			opts.Progress(cell.name)
+		}
+		var (
+			last   *stabl.RunResult
+			runErr error
+			drift  bool
+		)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := stabl.Run(gossipConfig(cell))
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				if last != nil && r.Events != last.Events {
+					drift = true
+				}
+				last = r
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("kernelbench: %s: %w", cell.name, runErr)
+		}
+		if drift {
+			return nil, fmt.Errorf("kernelbench: %s: event count drifted between identical runs", cell.name)
+		}
+		e := newEntry(cell.name, "gossip", res)
+		e.Validators = cell.validators
+		e.Committee = gossipCommittee
+		e.Flows = gossipFlows
+		e.ModeledClients = gossipClients
+		e.SimEvents = last.Events
+		e.Commits = last.UniqueCommits
+		e.Rounds = last.MaxHeight
+		if cell.overlay == "" {
+			// The mesh has no router counters; its per-origin cost is the
+			// full peer set by construction.
+			e.Overlay = "mesh"
+			e.SendsPerBroadcast = float64(cell.validators - 1)
+		} else {
+			e.Overlay = cell.overlay
+			e.SendsPerBroadcast = last.Overlay.SendsPerBroadcast()
+			e.OverlayOrigins = last.Overlay.Origins
+			e.OverlayRelayed = last.Overlay.Relayed
+			e.OverlayDuplicates = last.Overlay.Duplicates
+		}
+		if sec := res.T.Seconds(); sec > 0 {
+			e.EventsPerSec = float64(last.Events) * float64(res.N) / sec
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}

@@ -53,6 +53,15 @@ type Entry struct {
 	SimEvents           uint64  `json:"sim_events,omitempty"`
 	Commits             int     `json:"commits,omitempty"`
 	MsgsPerRoundPerNode float64 `json:"msgs_per_round_per_node,omitempty"`
+	// Gossip-suite measurements (BENCH_gossip): the routing mode and its
+	// per-origin broadcast cost. The mesh pays validators-1 sends per
+	// origin; kadcast must stay near O(fanout * log n) as the node count
+	// grows — the structured-overlay scale claim.
+	Overlay           string  `json:"overlay,omitempty"`
+	SendsPerBroadcast float64 `json:"sends_per_broadcast,omitempty"`
+	OverlayOrigins    uint64  `json:"overlay_origins,omitempty"`
+	OverlayRelayed    uint64  `json:"overlay_relayed,omitempty"`
+	OverlayDuplicates uint64  `json:"overlay_duplicates,omitempty"`
 	// Parallel-suite measurements (BENCH_parallel): the partition worker
 	// count, the lookahead-window count, and this run's speedup over the
 	// same cell's sequential run — measured wall clock (bounded by the
@@ -323,6 +332,10 @@ func (r *Report) WriteText(w io.Writer) error {
 		if e.Workers > 0 {
 			scale = fmt.Sprintf("  %5.2fx wall %5.2fx modeled %8d windows",
 				e.WallSpeedup, e.ModeledSpeedup, e.Windows)
+		}
+		if e.Overlay != "" {
+			scale = fmt.Sprintf("  %-8s %8.1f sends/origin %6d rounds %8d commits",
+				e.Overlay, e.SendsPerBroadcast, e.Rounds, e.Commits)
 		}
 		if _, err := fmt.Fprintf(w, "  %-26s %12.0f ns/op %8d allocs/op %10d B/op%s%s%s\n",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, rate, speedup, scale); err != nil {

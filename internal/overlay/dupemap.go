@@ -1,0 +1,77 @@
+package overlay
+
+import "stabl/internal/simnet"
+
+// dupeKey identifies one broadcast: the origin plus its per-origin sequence
+// number. Sequence numbers are persistent across restarts, so a rebooted
+// origin never reuses a key its peers may still hold.
+type dupeKey struct {
+	origin simnet.NodeID
+	seq    uint64
+}
+
+// dupemap is a bounded duplicate-suppression cache: a set plus a FIFO ring.
+// When the ring is full the oldest entry is evicted, so memory stays O(cap)
+// no matter how long the run is.
+type dupemap struct {
+	cap  int
+	seen map[dupeKey]struct{}
+	ring []dupeKey
+	head int
+}
+
+func newDupemap(capacity int) dupemap {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return dupemap{cap: capacity, seen: make(map[dupeKey]struct{}, capacity)}
+}
+
+// add records k, evicting the oldest entry when full. It reports whether k
+// was new (i.e. the envelope should be delivered and relayed).
+func (d *dupemap) add(k dupeKey) bool {
+	if _, ok := d.seen[k]; ok {
+		return false
+	}
+	if len(d.ring) < d.cap {
+		d.ring = append(d.ring, k)
+	} else {
+		delete(d.seen, d.ring[d.head])
+		d.ring[d.head] = k
+		d.head = (d.head + 1) % d.cap
+	}
+	d.seen[k] = struct{}{}
+	return true
+}
+
+// size returns the number of live entries (for tests and eviction bounds).
+func (d *dupemap) size() int { return len(d.seen) }
+
+// reset drops all entries, keeping the capacity. Used on node reboot: the
+// cache is volatile state.
+func (d *dupemap) reset() {
+	d.seen = make(map[dupeKey]struct{}, d.cap)
+	d.ring = d.ring[:0]
+	d.head = 0
+}
+
+// dupeState is the snapshot form of a dupemap: the ring in FIFO order plus
+// the head index. The set is rebuilt on restore, so the state is a plain
+// value copy with no shared references.
+type dupeState struct {
+	ring []dupeKey
+	head int
+}
+
+func (d *dupemap) snapshot() dupeState {
+	return dupeState{ring: append([]dupeKey(nil), d.ring...), head: d.head}
+}
+
+func (d *dupemap) restore(s dupeState) {
+	d.ring = append(d.ring[:0], s.ring...)
+	d.head = s.head
+	d.seen = make(map[dupeKey]struct{}, len(d.ring))
+	for _, k := range d.ring {
+		d.seen[k] = struct{}{}
+	}
+}

@@ -1,0 +1,231 @@
+package overlay
+
+import (
+	"sort"
+	"time"
+
+	"stabl/internal/simnet"
+)
+
+// Sender is the slice of simnet.Context the router needs: identity, virtual
+// time and point-to-point sends. *simnet.Context satisfies it; tests use
+// in-memory fakes.
+type Sender interface {
+	ID() simnet.NodeID
+	Now() time.Duration
+	Send(to simnet.NodeID, payload any)
+}
+
+var _ Sender = (*simnet.Context)(nil)
+
+// Envelope wraps an application broadcast travelling over the overlay.
+// Direct sends (replies, sync pulls, client traffic) are never enveloped and
+// pass through Router.Unwrap untouched.
+type Envelope struct {
+	// Origin is the broadcasting node; Seq its persistent per-origin
+	// sequence number. Together they key duplicate suppression.
+	Origin simnet.NodeID
+	Seq    uint64
+	// Height is the kadcast relay ceiling: the receiver forwards only to
+	// buckets strictly below it. floodHeight marks flood relays
+	// (ring/regular): forward to every neighbor except the sender.
+	Height int
+	// Payload is the application message.
+	Payload any
+}
+
+// stallLevel models one peer's outstanding relay queue: a level charged by
+// every send and drained at Config.DrainRate per virtual second. Pure
+// arithmetic over virtual time, so it replays identically at any worker
+// count.
+type stallLevel struct {
+	level float64
+	last  time.Duration
+}
+
+// Router is one node's overlay relay endpoint. It is owned by the node's
+// event context: all methods run inside that node's (single-threaded) event
+// handling, like every other piece of per-node chain state.
+type Router struct {
+	topo  *Topology
+	self  simnet.NodeID
+	seq   uint64 // persistent across restarts
+	dupe  dupemap
+	stall map[simnet.NodeID]stallLevel
+	stats Stats
+}
+
+// NewRouter creates the relay endpoint for self on the given topology.
+func NewRouter(topo *Topology, self simnet.NodeID) *Router {
+	return &Router{
+		topo:  topo,
+		self:  self,
+		dupe:  newDupemap(topo.cfg.DupeCap),
+		stall: make(map[simnet.NodeID]stallLevel),
+	}
+}
+
+// Neighbors returns this node's symmetric overlay neighborhood, ascending.
+func (r *Router) Neighbors() []simnet.NodeID { return r.topo.Neighbors(r.self) }
+
+// Stats returns the router's cumulative counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Broadcast originates payload: it is enveloped under a fresh sequence
+// number and pushed along the overlay. The local node is considered
+// delivered already (chains hand their own copy to themselves), so only
+// remote dissemination happens here.
+func (r *Router) Broadcast(s Sender, payload any) {
+	r.seq++
+	r.dupe.add(dupeKey{origin: r.self, seq: r.seq})
+	env := Envelope{Origin: r.self, Seq: r.seq, Payload: payload}
+	r.stats.Origins++
+	r.stats.OriginSends += r.relay(s, env, maxHeight, r.self)
+}
+
+// Unwrap filters one delivered payload. Non-envelope traffic passes through
+// untouched. A fresh envelope is relayed onward and its payload returned
+// with ok=true; a duplicate is counted and suppressed (ok=false).
+func (r *Router) Unwrap(s Sender, from simnet.NodeID, payload any) (inner any, ok bool) {
+	env, isEnv := payload.(Envelope)
+	if !isEnv {
+		return payload, true
+	}
+	if !r.dupe.add(dupeKey{origin: env.Origin, seq: env.Seq}) {
+		r.stats.Duplicates++
+		return nil, false
+	}
+	r.stats.Relayed += r.relay(s, env, env.Height, from)
+	return env.Payload, true
+}
+
+// relay forwards env below the given height ceiling (kadcast) or floods it
+// (ring/regular), skipping stalled peers deterministically. It returns the
+// number of envelopes sent. from is excluded: it either originated or just
+// relayed this envelope.
+func (r *Router) relay(s Sender, env Envelope, height int, from simnet.NodeID) uint64 {
+	now := s.Now()
+	var sent uint64
+	if r.topo.views != nil { // kadcast
+		for _, bv := range r.topo.views[r.self] {
+			if bv.Index >= height {
+				continue
+			}
+			// Delegate rotation is a pure hash of the broadcast identity
+			// and the bucket, so repeated broadcasts spread load over the
+			// view without drawing from any RNG stream.
+			offset := int(delegateHash(env.Origin, env.Seq, bv.Index, r.self) % uint64(len(bv.Peers)))
+			picked, candidates := 0, 0
+			for i := 0; i < len(bv.Peers) && picked < r.topo.cfg.Fanout; i++ {
+				peer := bv.Peers[(offset+i)%len(bv.Peers)]
+				if peer == env.Origin || peer == from {
+					continue
+				}
+				candidates++
+				if r.stalled(peer, now) {
+					r.stats.StallSkips++
+					continue
+				}
+				r.charge(peer, now)
+				s.Send(peer, Envelope{Origin: env.Origin, Seq: env.Seq, Height: bv.Index, Payload: env.Payload})
+				picked++
+			}
+			if picked == 0 && candidates > 0 {
+				r.stats.StallDrops++
+			}
+			sent += uint64(picked)
+		}
+		return sent
+	}
+	for _, peer := range r.topo.Neighbors(r.self) { // flood
+		if peer == env.Origin || peer == from {
+			continue
+		}
+		if r.stalled(peer, now) {
+			r.stats.StallSkips++
+			continue
+		}
+		r.charge(peer, now)
+		s.Send(peer, Envelope{Origin: env.Origin, Seq: env.Seq, Height: floodHeight, Payload: env.Payload})
+		sent++
+	}
+	return sent
+}
+
+// delegateHash mixes the broadcast identity with the bucket and the relaying
+// node into a rotation offset.
+func delegateHash(origin simnet.NodeID, seq uint64, bucket int, self simnet.NodeID) uint64 {
+	x := uint64(origin)*0x9E3779B97F4A7C15 ^ seq*0xC2B2AE3D27D4EB4F ^ uint64(bucket)*0x165667B19E3779F9 ^ uint64(self)*0x27D4EB2F165667C5
+	return splitmix64(x)
+}
+
+// stalled reports whether peer's drained outstanding level is at or above
+// the stall threshold.
+func (r *Router) stalled(peer simnet.NodeID, now time.Duration) bool {
+	st, ok := r.stall[peer]
+	if !ok {
+		return false
+	}
+	lvl := st.level - r.topo.cfg.DrainRate*(now-st.last).Seconds()
+	return lvl >= float64(r.topo.cfg.StallThreshold)
+}
+
+// charge drains peer's level to now and adds one outstanding send.
+func (r *Router) charge(peer simnet.NodeID, now time.Duration) {
+	st := r.stall[peer]
+	if st.last > 0 || st.level > 0 {
+		st.level -= r.topo.cfg.DrainRate * (now - st.last).Seconds()
+		if st.level < 0 {
+			st.level = 0
+		}
+	}
+	st.level++
+	st.last = now
+	r.stall[peer] = st
+}
+
+// Reset clears the volatile routing state on node reboot: the dupemap and
+// the stall levels. The sequence counter survives — a restarted origin must
+// not reuse sequence numbers its peers may still have cached — and the
+// cumulative stats keep counting across incarnations.
+func (r *Router) Reset() {
+	r.dupe.reset()
+	r.stall = make(map[simnet.NodeID]stallLevel)
+}
+
+// State is a value snapshot of a Router for run forking (snapshot.Forkable):
+// no references are shared with the live router.
+type State struct {
+	seq   uint64
+	dupe  dupeState
+	peers []simnet.NodeID // stall keys, ascending
+	lvls  []stallLevel    // stall values, parallel to peers
+	stats Stats
+}
+
+// Snapshot captures the router state by value. Stall levels are serialized
+// in ascending peer order so the snapshot bytes are map-order independent.
+func (r *Router) Snapshot() State {
+	st := State{seq: r.seq, dupe: r.dupe.snapshot(), stats: r.stats}
+	st.peers = make([]simnet.NodeID, 0, len(r.stall))
+	for peer := range r.stall {
+		st.peers = append(st.peers, peer)
+	}
+	sort.Slice(st.peers, func(i, j int) bool { return st.peers[i] < st.peers[j] })
+	st.lvls = make([]stallLevel, len(st.peers))
+	for i, peer := range st.peers {
+		st.lvls[i] = r.stall[peer]
+	}
+	return st
+}
+
+// Restore rewinds the router to a snapshot taken by Snapshot.
+func (r *Router) Restore(st State) {
+	r.seq = st.seq
+	r.dupe.restore(st.dupe)
+	r.stall = make(map[simnet.NodeID]stallLevel, len(st.peers))
+	for i, peer := range st.peers {
+		r.stall[peer] = st.lvls[i]
+	}
+	r.stats = st.stats
+}

@@ -237,6 +237,10 @@ func (v *validator) Base() *chain.BaseNode { return v.base }
 
 // Deliver implements simnet.Handler.
 func (v *validator) Deliver(from simnet.NodeID, payload any) {
+	payload, ok := v.base.Unwrap(from, payload)
+	if !ok {
+		return
+	}
 	if v.base.HandleClient(from, payload) {
 		return
 	}
@@ -282,7 +286,7 @@ func (v *validator) startRound(round int) {
 		}
 		txs := v.base.Pool.Pop(v.cfg.MaxProposalTxs)
 		st.proposals[v.base.ID] = txs
-		v.ctx.Broadcast(v.base.Peers, proposalMsg{Round: round, Proposer: v.base.ID, Txs: txs})
+		v.base.Broadcast(proposalMsg{Round: round, Proposer: v.base.ID, Txs: txs})
 		v.maybeScheduleEstimate(round)
 	})
 	v.ctx.After(v.cfg.ProposalTimeout, func() {
@@ -345,7 +349,7 @@ func (v *validator) castVote(round, sub int, est []simnet.NodeID, resend bool) {
 	}
 	msg := voteMsg{Round: round, Sub: sub, Voter: v.base.ID, Est: st.myVote[sub], Resend: resend}
 	v.onVote(msg) // count own vote
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 }
 
 func (v *validator) onVote(msg voteMsg) {
@@ -440,7 +444,7 @@ func (v *validator) maybeSendCoord(round int) {
 	st.coordSent[sub] = true
 	hint := v.majorityEst(round, sub)
 	msg := coordMsg{Round: round, Sub: sub, Est: hint}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 	v.onCoord(msg)
 }
 
@@ -515,7 +519,7 @@ func (v *validator) decide(round int, est []simnet.NodeID) {
 	v.decides++
 	block := v.assemble(round, est, st)
 	v.base.SubmitBlock(block)
-	v.ctx.Broadcast(v.base.Peers, decideMsg{Round: round, Block: block})
+	v.base.Broadcast(decideMsg{Round: round, Block: block})
 	v.advance(round)
 }
 
@@ -624,7 +628,7 @@ func (v *validator) resendRound() {
 		return
 	}
 	if txs, ok := st.proposals[v.base.ID]; ok {
-		v.ctx.Broadcast(v.base.Peers, proposalMsg{Round: v.round, Proposer: v.base.ID, Txs: txs})
+		v.base.Broadcast(proposalMsg{Round: v.round, Proposer: v.base.ID, Txs: txs})
 	}
 	// Resend votes in ascending sub-round order: each send samples the
 	// shared latency (and degradation) RNG streams, so iterating the map
@@ -637,7 +641,7 @@ func (v *validator) resendRound() {
 	sort.Ints(subs)
 	for _, sub := range subs {
 		if est := st.myVote[sub]; est != nil {
-			v.ctx.Broadcast(v.base.Peers, voteMsg{Round: v.round, Sub: sub, Voter: v.base.ID, Est: est, Resend: true})
+			v.base.Broadcast(voteMsg{Round: v.round, Sub: sub, Voter: v.base.ID, Est: est, Resend: true})
 		}
 	}
 	// A node that has been stuck for a long time relative to the chain

@@ -74,6 +74,18 @@ var builtins = map[string]func(d float64) Spec{
 			},
 		}
 	},
+	// eclipse models an eclipse attack on the gossip overlay: victims stay
+	// up and nominally connected, but every overlay path they relay on is
+	// severed mid-run. On mesh deployments it degrades to full isolation.
+	"eclipse": func(d float64) Spec {
+		return Spec{
+			Name:        "eclipse",
+			Description: "overlay eclipse: 2 nodes severed from their gossip neighbors for half the run",
+			Actions: []ActionSpec{
+				{Op: "eclipse", AtSec: frac(d, 0.30), Nodes: "random(2)", UntilSec: frac(d, 0.70)},
+			},
+		}
+	},
 	// rolling-restart models a maintenance rollout: the client-free
 	// validators reboot in pairs, each pair down for one stagger window.
 	"rolling-restart": func(d float64) Spec {

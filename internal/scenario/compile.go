@@ -24,6 +24,11 @@ type Env struct {
 	// derivation is pure: compiling a scenario never perturbs the
 	// simulation's other streams.
 	RNG func(name string) *rand.Rand
+	// Neighbors, when set, returns a validator's gossip-overlay
+	// neighborhood; eclipse actions partition each victim from exactly
+	// these nodes. Nil (no overlay) falls back to full isolation, so
+	// eclipse scenarios stay compilable on mesh deployments.
+	Neighbors func(simnet.NodeID) []simnet.NodeID
 }
 
 // Phase annotates one compiled timeline step, for metrics timelines and
@@ -143,6 +148,18 @@ func expandAction(act Action, groups [][]simnet.NodeID) ([]step, error) {
 	var steps []step
 	for g, nodes := range groups {
 		at := act.At + time.Duration(g)*stagger
+		if act.Op == OpEclipse {
+			// Each victim is cut from its own overlay neighborhood, so
+			// the lowering needs one partition rule — one step — per
+			// victim. A single heal closes the whole group.
+			for _, v := range nodes {
+				steps = append(steps, step{at: at, op: OpEclipse, nodes: []simnet.NodeID{v}})
+			}
+			if outage > 0 {
+				steps = append(steps, revertStep(act.Op, at+outage, nodes))
+			}
+			continue
+		}
 		apply := step{at: at, op: act.Op, nodes: nodes,
 			rate: act.Rate, delay: act.Delay, jitter: act.Jitter}
 		switch act.Op {
@@ -165,7 +182,7 @@ func revertStep(op Op, at time.Duration, nodes []simnet.NodeID) step {
 	switch op {
 	case OpCrash:
 		st.op = OpRestart
-	case OpPartition:
+	case OpPartition, OpEclipse:
 		st.op = OpHeal
 	case OpSlow:
 		st.op = OpSlow // delay zero clears the rule
@@ -205,6 +222,13 @@ func (st step) lower(env Env) observer.Action {
 	case OpPartition:
 		act.PartitionA = st.nodes
 		act.PartitionB = others(env, st.nodes)
+	case OpEclipse:
+		act.PartitionA = st.nodes // exactly one victim, see expandAction
+		if env.Neighbors != nil {
+			act.PartitionB = env.Neighbors(st.nodes[0])
+		} else {
+			act.PartitionB = others(env, st.nodes)
+		}
 	case OpHeal:
 		act.Heal = st.nodes
 	case OpSlow:

@@ -44,11 +44,17 @@ const (
 	// OpFlap toggles a partition of the nodes on and off between atSec
 	// and untilSec, modelling a flapping link.
 	OpFlap Op = "flap"
+	// OpEclipse cuts each targeted node off from its gossip-overlay
+	// neighbors only (auto-healing at untilSec, if set): the victim stays
+	// nominally connected but every overlay path it relays on is severed —
+	// the eclipse attack surface of structured overlays. Without an
+	// overlay it degrades to a full isolation of each victim.
+	OpEclipse Op = "eclipse"
 )
 
 // Ops lists every action verb, in grammar order.
 func Ops() []Op {
-	return []Op{OpCrash, OpRestart, OpPartition, OpHeal, OpSlow, OpLoss, OpJitter, OpFlap}
+	return []Op{OpCrash, OpRestart, OpPartition, OpHeal, OpSlow, OpLoss, OpJitter, OpFlap, OpEclipse}
 }
 
 // Spec is the JSON form of a scenario:

@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"stabl/internal/sim"
+)
+
+// pairLatency is a synthetic per-pair latency model: the base delay plus one
+// extra millisecond per unit of |from-to| distance, so every directed link
+// has a distinct static lower bound.
+type pairLatency struct {
+	base time.Duration
+}
+
+func (p pairLatency) Sample(from, to NodeID, rng *rand.Rand) time.Duration {
+	return p.LowerBoundBetween(from, to) + time.Duration(rng.Int63n(int64(time.Millisecond)))
+}
+
+func (p pairLatency) LowerBound() time.Duration { return p.base }
+
+func (p pairLatency) LowerBoundBetween(from, to NodeID) time.Duration {
+	d := int64(from - to)
+	if d < 0 {
+		d = -d
+	}
+	return p.base + time.Duration(d)*time.Millisecond
+}
+
+func TestPairLowerBound(t *testing.T) {
+	sched := sim.New(1)
+	net := New(sched, Config{Latency: pairLatency{base: 5 * time.Millisecond}})
+	d, ok := net.PairLowerBound(2, 7)
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("PairLowerBound(2,7) = %v, %t; want 10ms, true", d, ok)
+	}
+	if d, ok := net.PairLowerBound(3, 3); !ok || d != 5*time.Millisecond {
+		t.Fatalf("PairLowerBound(3,3) = %v, %t; want 5ms, true", d, ok)
+	}
+
+	// A model without per-pair bounds reports ok=false.
+	flat := New(sim.New(1), Config{Latency: fixedNoPair(7 * time.Millisecond)})
+	if _, ok := flat.PairLowerBound(0, 1); ok {
+		t.Fatal("PairLowerBound reported a bound for a model without one")
+	}
+}
+
+// fixedNoPair is a fixed-latency model that deliberately does NOT implement
+// PairDelayLowerBound, to exercise the ok=false path.
+type fixedNoPair time.Duration
+
+func (f fixedNoPair) Sample(_, _ NodeID, _ *rand.Rand) time.Duration { return time.Duration(f) }
+
+func TestSetLookaheadOverridesModelBound(t *testing.T) {
+	sched := sim.New(1)
+	net := New(sched, Config{Latency: pairLatency{base: 5 * time.Millisecond}})
+	if got := net.Lookahead(); got != 5*time.Millisecond {
+		t.Fatalf("model-wide Lookahead = %v, want 5ms", got)
+	}
+	// An overlay-confined deployment that only ever uses links at distance
+	// >= 3 may raise the horizon to the minimum over its pairs.
+	net.SetLookahead(8 * time.Millisecond)
+	if got := net.Lookahead(); got != 8*time.Millisecond {
+		t.Fatalf("overridden Lookahead = %v, want 8ms", got)
+	}
+	// Zero restores the model-wide bound.
+	net.SetLookahead(0)
+	if got := net.Lookahead(); got != 5*time.Millisecond {
+		t.Fatalf("restored Lookahead = %v, want 5ms", got)
+	}
+}

@@ -252,6 +252,10 @@ func (v *validator) Deliver(from simnet.NodeID, payload any) {
 	if v.panicked {
 		return
 	}
+	payload, ok := v.base.Unwrap(from, payload)
+	if !ok {
+		return
+	}
 	if v.base.HandleClient(from, payload) {
 		return
 	}
@@ -406,6 +410,14 @@ func (v *validator) eahBrokenForSlot(lastRooted int) bool {
 // and upcoming leaders; with a known leader schedule there is nothing to
 // wait for, which is why submitting to extra validators barely helps (§7).
 func (v *validator) forwardOne(tx chain.Tx) {
+	if v.base.Gossips() {
+		// Overlay mode: the scheduled leader may not be an overlay
+		// neighbor, so the transaction rides the broadcast tree; every
+		// validator pools it (txForward handling is an unconditional
+		// pool add either way).
+		v.base.Broadcast(txForward{Tx: tx})
+		return
+	}
 	for _, leader := range v.upcomingLeaders() {
 		v.ctx.Send(leader, txForward{Tx: tx})
 	}
@@ -447,6 +459,12 @@ func (v *validator) forward() {
 	if len(batch) == 0 {
 		return
 	}
+	if v.base.Gossips() {
+		for _, tx := range batch {
+			v.base.Broadcast(txForward{Tx: tx})
+		}
+		return
+	}
 	for _, leader := range v.upcomingLeaders() {
 		for _, tx := range batch {
 			v.ctx.Send(leader, txForward{Tx: tx})
@@ -465,7 +483,7 @@ func (v *validator) produce(slot int) {
 		Leader: v.base.ID,
 		Txs:    txs,
 	}
-	v.ctx.Broadcast(v.base.Peers, msg)
+	v.base.Broadcast(msg)
 	v.onBlock(msg)
 }
 
@@ -479,7 +497,7 @@ func (v *validator) onBlock(msg blockMsg) {
 	m := msg
 	v.blocks[msg.Slot] = &m
 	vote := voteMsg{Slot: msg.Slot, Voter: v.base.ID}
-	v.ctx.Broadcast(v.base.Peers, vote)
+	v.base.Broadcast(vote)
 	v.onVote(vote)
 }
 

@@ -39,6 +39,7 @@ import (
 	"stabl/internal/chain"
 	"stabl/internal/core"
 	"stabl/internal/metrics"
+	"stabl/internal/overlay"
 	"stabl/internal/redbelly"
 	"stabl/internal/scenario"
 	"stabl/internal/search"
@@ -224,6 +225,25 @@ type (
 	// ScenarioAction is the JSON form of one scenario timeline action.
 	ScenarioAction = scenario.ActionSpec
 )
+
+// Gossip-overlay types: structured broadcast overlays replacing the legacy
+// full mesh. See the internal/overlay package for the topology derivation
+// and routing rules.
+type (
+	// OverlayConfig selects and tunes a gossip overlay; set it on
+	// Config.Overlay (the zero value keeps the full mesh).
+	OverlayConfig = overlay.Config
+	// OverlayStats aggregates a run's overlay routing counters (origins,
+	// relays, duplicates, stall skips); see RunResult.Overlay.
+	OverlayStats = overlay.Stats
+)
+
+// OverlayKinds lists the overlay topology names (kadcast, regular, ring).
+func OverlayKinds() []string { return overlay.Kinds() }
+
+// ParseOverlayKind validates an overlay topology name, enumerating the valid
+// names on failure.
+func ParseOverlayKind(name string) (string, error) { return overlay.ParseKind(name) }
 
 // ParseScenario reads and validates a JSON scenario spec (the scenario
 // action grammar: crash, restart, partition, heal, slow, loss, jitter, flap
