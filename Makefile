@@ -26,11 +26,18 @@ race:
 specs:
 	$(GO) run ./cmd/stabl spec -validate 'specs/*.json' 'specs/scenarios/*.json'
 
-# lint runs the determinism static-analysis pass (internal/lint) over the
-# whole module: map ranges that draw RNG/send/schedule, wall-clock reads in
-# simulated packages, global math/rand use, unsorted key broadcasts. Any
-# unsuppressed diagnostic fails the build; //stabl:nodet suppresses one
-# finding with a justification (see DESIGN.md "Determinism invariants").
+# lint runs the whole-program determinism analysis (internal/lint) over the
+# module: the engine loads every package once, builds a cross-package call
+# graph, and runs nine analyzers — map ranges that draw RNG/send/schedule
+# (resolved through helpers and interface dispatch in other packages),
+# wall-clock reads in simulated packages, global math/rand use, unsorted key
+# broadcasts, snapshot map-order capture, cross-partition writes, Forkable
+# structs with mutable fields their Snapshot/Restore never touch, goroutines
+# and locks in handler-path code outside the parsim seam, and unbounded
+# loops/recursion in handlers. Any unsuppressed diagnostic fails the build;
+# //stabl:nodet <analyzer> -- <justification> suppresses one finding (see
+# DESIGN.md "Determinism invariants"); `stabl lint -json` emits the findings,
+# suppressed ones included and flagged, for tooling.
 lint:
 	$(GO) run ./cmd/stabl lint ./...
 

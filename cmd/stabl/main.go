@@ -643,19 +643,30 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pkgs, err := lint.Load(operands)
+		prog, err := lint.Load(operands)
 		if err != nil {
 			return err
 		}
-		diags := lint.Run(pkgs, selected)
-		for _, d := range diags {
-			fmt.Fprintln(out, d)
+		// -json prints every finding (suppressed ones flagged) as a stable
+		// JSON array; text mode prints only the unsuppressed ones. Exit
+		// status counts unsuppressed findings either way.
+		var diags []lint.Diagnostic
+		if *jsonOut {
+			diags = lint.RunAll(prog, selected)
+			if err := lint.WriteJSON(out, diags); err != nil {
+				return err
+			}
+		} else {
+			diags = lint.Run(prog, selected)
+			for _, d := range diags {
+				fmt.Fprintln(out, d)
+			}
 		}
 		// Same non-zero-exit convention as `stabl spec -validate`: clean
 		// trees exit 0, anything unsuppressed fails the command (and with
 		// it, make verify).
-		if len(diags) > 0 {
-			return fmt.Errorf("lint: %d issue(s) in %d package(s)", len(diags), len(pkgs))
+		if n := lint.Exitable(diags); n > 0 {
+			return fmt.Errorf("lint: %d issue(s) in %d package(s)", n, len(prog.Pkgs))
 		}
 		return nil
 	case "spec":

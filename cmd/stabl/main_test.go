@@ -304,7 +304,7 @@ func TestCLILintList(t *testing.T) {
 	if err := run([]string{"lint", "-list"}, &buf); err != nil {
 		t.Fatalf("lint -list: %v", err)
 	}
-	for _, name := range []string{"globalrand", "maprange-rng", "snapshot-maporder", "unsorted-broadcast", "wallclock"} {
+	for _, name := range []string{"globalrand", "maprange-rng", "snapshot-maporder", "unsorted-broadcast", "wallclock", "snapshot-fields", "goroutine-purity", "effort-bound"} {
 		if !strings.Contains(buf.String(), name) {
 			t.Fatalf("lint -list output %q is missing analyzer %s", buf.String(), name)
 		}
@@ -319,7 +319,7 @@ func TestCLILintUnknownAnalyzer(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown analyzer accepted")
 	}
-	for _, want := range []string{`unknown analyzer "bogus"`, "globalrand", "maprange-rng", "snapshot-maporder", "unsorted-broadcast", "wallclock"} {
+	for _, want := range []string{`unknown analyzer "bogus"`, "globalrand", "maprange-rng", "snapshot-maporder", "unsorted-broadcast", "wallclock", "snapshot-fields", "goroutine-purity", "effort-bound"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not mention %q", err, want)
 		}
@@ -333,5 +333,17 @@ func TestCLILintCleanPackage(t *testing.T) {
 	}
 	if strings.TrimSpace(buf.String()) != "" {
 		t.Fatalf("lint on a clean package printed diagnostics:\n%s", buf.String())
+	}
+}
+
+// TestCLILintJSON pins the machine-readable mode: a clean package renders
+// an empty JSON array (never "null") and still exits zero.
+func TestCLILintJSON(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"lint", "-json", "stabl/internal/stats"}, &buf); err != nil {
+		t.Fatalf("lint -json on a clean package failed: %v\n%s", err, buf.String())
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("lint -json on a clean package = %q, want []", got)
 	}
 }

@@ -5,18 +5,21 @@
 //
 // Usage:
 //
-//	stabllint [-analyzers a,b] [packages]
+//	stabllint [-analyzers a,b] [-json] [packages]
 //
 // Packages default to ./... and accept any `go list` pattern. The exit
 // status follows the `stabl spec -validate` convention: 0 when clean,
 // non-zero with a summary on stderr when any unsuppressed diagnostic (or a
 // load error) remains. Diagnostics print one per line as
-// path:line:col: [analyzer] message.
+// path:line:col: [analyzer] message; -json prints a stable JSON array with
+// one object per finding (suppressed findings included and flagged), the
+// same format as `stabl lint -json`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stabl/internal/lint"
@@ -26,35 +29,44 @@ func main() {
 	fs := flag.NewFlagSet("stabllint", flag.ExitOnError)
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer names (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array (suppressed findings included, flagged)")
 	fs.Parse(os.Args[1:])
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
-	if err := run(*analyzers, fs.Args()); err != nil {
+	if err := run(os.Stdout, *analyzers, *jsonOut, fs.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "stabllint:", err)
 		os.Exit(1)
 	}
 }
 
-func run(analyzers string, patterns []string) error {
+func run(out io.Writer, analyzers string, jsonOut bool, patterns []string) error {
 	selected, err := lint.Select(analyzers)
 	if err != nil {
 		return err
 	}
-	pkgs, err := lint.Load(patterns)
+	prog, err := lint.Load(patterns)
 	if err != nil {
 		return err
 	}
-	diags := lint.Run(pkgs, selected)
-	for _, d := range diags {
-		fmt.Println(d)
+	var diags []lint.Diagnostic
+	if jsonOut {
+		diags = lint.RunAll(prog, selected)
+		if err := lint.WriteJSON(out, diags); err != nil {
+			return err
+		}
+	} else {
+		diags = lint.Run(prog, selected)
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
-	if len(diags) > 0 {
-		return fmt.Errorf("%d issue(s) in %d package(s)", len(diags), len(pkgs))
+	if n := lint.Exitable(diags); n > 0 {
+		return fmt.Errorf("%d issue(s) in %d package(s)", n, len(prog.Pkgs))
 	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanPackage lints a dependency-light clean package: no output,
+// nil error.
+func TestRunCleanPackage(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "", false, []string{"stabl/internal/stats"}); err != nil {
+		t.Fatalf("clean package failed: %v\n%s", err, buf.String())
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		t.Fatalf("clean package printed diagnostics:\n%s", buf.String())
+	}
+}
+
+// TestRunJSON pins the -json contract end to end: a clean package yields an
+// empty JSON array (not "null"), and a package carrying a justified
+// //stabl:nodet suppression yields an array whose findings are flagged
+// suppressed — with nil error either way, since suppressed findings do not
+// fail the run.
+func TestRunJSON(t *testing.T) {
+	var clean strings.Builder
+	if err := run(&clean, "", true, []string{"stabl/internal/stats"}); err != nil {
+		t.Fatalf("clean package failed: %v\n%s", err, clean.String())
+	}
+	if got := strings.TrimSpace(clean.String()); got != "[]" {
+		t.Fatalf("clean package JSON = %q, want []", got)
+	}
+
+	// internal/committee carries justified goroutine-purity suppressions on
+	// its memoization lock. Its methods are handler-path only because
+	// algorand's handler-shaped validator calls them, so both packages load
+	// as targets — cross-package reachability is the point.
+	var buf strings.Builder
+	if err := run(&buf, "goroutine-purity", true, []string{"stabl/internal/committee", "stabl/internal/algorand"}); err != nil {
+		t.Fatalf("suppressed-only package failed: %v\n%s", err, buf.String())
+	}
+	var findings []struct {
+		Analyzer   string `json:"analyzer"`
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected the suppressed committee findings in -json output, got none")
+	}
+	for _, f := range findings {
+		if !f.Suppressed {
+			t.Errorf("unsuppressed finding leaked into a clean tree: %+v", f)
+		}
+		if f.Analyzer != "goroutine-purity" || f.File == "" || f.Line == 0 {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+}
+
+// TestRunJSONDeterministic renders the same analysis twice and requires
+// byte-identical JSON, the property CI diffing relies on.
+func TestRunJSONDeterministic(t *testing.T) {
+	render := func() string {
+		var buf strings.Builder
+		if err := run(&buf, "goroutine-purity", true, []string{"stabl/internal/committee", "stabl/internal/algorand"}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return buf.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("-json output differs between two identical runs:\n--- first\n%s--- second\n%s", first, second)
+	}
+}
+
+// TestRunUnknownAnalyzer mirrors the stabl CLI: a typo fails with an error
+// enumerating the valid names, including the whole-program analyzers.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var buf strings.Builder
+	err := run(&buf, "bogus", false, nil)
+	if err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+	for _, want := range []string{`unknown analyzer "bogus"`, "snapshot-fields", "goroutine-purity", "effort-bound"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -116,7 +116,7 @@ type System struct {
 	// of the full validator set. The mutex covers campaign/suite workers
 	// building experiments off one System value concurrently; extraction
 	// is pure, so sharing the schedule never couples their runs.
-	mu            sync.Mutex
+	mu            sync.Mutex //stabl:nodet goroutine-purity -- guards cross-run schedule memoization; extraction is pure, so sharing never couples runs
 	committeeSize int
 	sched         *committee.Schedule
 	schedN        int

@@ -30,17 +30,17 @@ type Monitor struct {
 	haveBlock  bool
 	lastHash   Hash
 	integrity  []string
-	rec        *metrics.Recorder
+	rec        *metrics.Recorder //stabl:nodet snapshot-fields -- identity-preserved attachment; the Recorder checkpoints through its own Forkable state
 	// Parallel-mode buffering (nil sched = sequential, the default). The
 	// monitor is cross-cutting state every validator writes, so in parallel
 	// mode reports made inside a lookahead window are buffered per queue,
 	// stamped with the reporting event's key, and merged at the next
 	// barrier in global key order — the exact order the sequential kernel
 	// would have applied them in.
-	sched   *sim.Scheduler
-	queueOf []int32
-	buf     [][]monEntry
-	scratch []monEntry
+	sched   *sim.Scheduler //stabl:nodet snapshot-fields -- parallel-mode only; core.Fork calls DisableParallel before any snapshot
+	queueOf []int32        //stabl:nodet snapshot-fields -- parallel-mode only; cleared by DisableParallel before any snapshot
+	buf     [][]monEntry   //stabl:nodet snapshot-fields -- drained at every barrier, nil outside parallel mode; empty whenever a snapshot can be taken
+	scratch []monEntry     //stabl:nodet snapshot-fields -- merge scratch space, logically empty between flushes
 }
 
 // monEntry is one buffered report: either a block application or a

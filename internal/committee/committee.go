@@ -263,8 +263,8 @@ func (s *Schedule) Size() int { return s.size }
 // Committee returns the memoized (round, step) committee.
 func (s *Schedule) Committee(round uint64, step uint8) *Committee {
 	key := scheduleKey{round: round, step: step}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.Lock()         //stabl:nodet goroutine-purity -- cross-run memoization: the schedule is shared by suite workers, never by nodes of one run
+	defer s.mu.Unlock() //stabl:nodet goroutine-purity -- see above; extraction is pure, cache hits and misses yield identical committees
 	if c, ok := s.cache[key]; ok {
 		return c
 	}

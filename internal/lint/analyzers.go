@@ -15,6 +15,9 @@ func All() []*Analyzer {
 		UnsortedBroadcast,
 		SnapshotMapOrder,
 		CrossPartitionState,
+		SnapshotFields,
+		GoroutinePurity,
+		EffortBound,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -32,11 +35,13 @@ func analyzerNames() string {
 }
 
 // Select resolves a comma-separated list of analyzer names. An empty list
-// (or "all") selects every analyzer; an unknown name is an error that
-// enumerates the valid ones.
+// selects every analyzer, as does any list containing "all" — so
+// `-analyzers all,wallclock` means "everything" rather than erroring on a
+// literal analyzer named "all"; an unknown name is an error that enumerates
+// the valid ones.
 func Select(list string) ([]*Analyzer, error) {
 	list = strings.TrimSpace(list)
-	if list == "" || list == "all" {
+	if list == "" {
 		return All(), nil
 	}
 	byName := make(map[string]*Analyzer)
@@ -44,10 +49,18 @@ func Select(list string) ([]*Analyzer, error) {
 		byName[a.Name] = a
 	}
 	var out []*Analyzer
+	sawAll := false
 	seen := make(map[string]bool)
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
+			continue
+		}
+		if name == "all" {
+			// "all" anywhere in the list wins: the named analyzers are a
+			// subset of it by definition. They are still validated, so
+			// `all,bogus` errors instead of silently passing.
+			sawAll = true
 			continue
 		}
 		a, ok := byName[name]
@@ -58,6 +71,9 @@ func Select(list string) ([]*Analyzer, error) {
 			seen[name] = true
 			out = append(out, a)
 		}
+	}
+	if sawAll {
+		return All(), nil
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("lint: no analyzers selected (valid analyzers: %s)", analyzerNames())

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCrossTaintInvisibleToPackageLocalEngine is the passing-before /
+// failing-after proof for the whole-program taint engine: the crosstaint
+// fixture contains no identifier that resolves to an order-sensitive sink
+// within its own package, so the PR 5 engine — which resolved calls within
+// one package only and treated everything else as opaque — analyzed this
+// exact code and reported nothing. The whole-program engine must report
+// both seeded loops.
+func TestCrossTaintInvisibleToPackageLocalEngine(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "src", "crosstaint"), "stabl/internal/lint/testdata/crosstaint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := prog.Pkgs[0]
+
+	// The "before" half: walking every identifier of the fixture's root
+	// package, no use may resolve to a sink. A package-local engine's taint
+	// universe is exactly these uses plus same-package declarations, so an
+	// empty intersection with the sink table means it had nothing to find.
+	for _, f := range root.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := root.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if desc, isSink := sinkFunc(fn); isSink {
+				pos := prog.Fset.Position(id.Pos())
+				t.Errorf("fixture leaks a package-local sink at %s: %s (%s) — rewrite it to reach the sink through the helper package, or the fixture no longer proves the cross-package hole",
+					pos, fn.FullName(), desc)
+			}
+			return true
+		})
+	}
+
+	// The "after" half: the whole-program engine reports both seeded loops
+	// (direct helper call and interface dispatch).
+	diags := Run(prog, []*Analyzer{MapRangeRNG})
+	if len(diags) != 2 {
+		t.Fatalf("whole-program engine found %d findings in crosstaint, want 2: %v", len(diags), diags)
+	}
+	var sawDirect, sawDispatch bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "calls helper.Pick") {
+			sawDirect = true
+		}
+		if strings.Contains(d.Message, "via Chooser.Choose") {
+			sawDispatch = true
+		}
+	}
+	if !sawDirect || !sawDispatch {
+		t.Errorf("missing cross-package call chains in diagnostics (direct=%v dispatch=%v): %v",
+			sawDirect, sawDispatch, diags)
+	}
+}
+
+// TestLoaderCacheIdentity compares a cold-cache run against a warm-cache
+// run of the same analysis and requires byte-identical diagnostics: the
+// process-wide `go list` and type-check caches must be invisible to the
+// output, cached or not.
+func TestLoaderCacheIdentity(t *testing.T) {
+	render := func() string {
+		prog, err := LoadDir(filepath.Join("testdata", "src", "crosstaint"), "stabl/internal/lint/testdata/crosstaint")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, d := range Run(prog, All()) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	resetLoaderCache()
+	cold := render()
+	warm := render()
+	if cold == "" {
+		t.Fatal("crosstaint produced no diagnostics; identity check is vacuous")
+	}
+	if cold != warm {
+		t.Fatalf("diagnostics differ between cold and warm loader caches:\n--- cold\n%s--- warm\n%s", cold, warm)
+	}
+}

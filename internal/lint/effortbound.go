@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EffortBound flags statically-unbounded control flow in handler-path code:
+// work a node performs in response to network input must terminate within
+// the handler's virtual instant, because the simulation kernel only
+// advances time between events — an unbounded loop or unconditional
+// recursion inside a handler hangs the whole experiment (and, worse, hangs
+// it only on the inputs that trigger it, which an adversarial scenario can
+// craft). Two shapes are flagged:
+//
+//   - a condition-less `for` with no break or return anywhere in its body:
+//     nothing bounds the iteration, so the handler never yields back to the
+//     event loop;
+//   - an unconditional self-call: a handler-path function invoking itself
+//     outside any if/switch/select guard recurses until the stack dies.
+//
+// Loops over concrete collections (range, condition-guarded for) are
+// bounded by their operand and stay silent; a deliberate spin that bounds
+// itself some other way can justify with //stabl:nodet effort-bound.
+var EffortBound = &Analyzer{
+	Name: "effort-bound",
+	Doc:  "unbounded loop or unconditional recursion in handler-path code",
+	Run:  runEffortBound,
+}
+
+func runEffortBound(p *Pass) {
+	idx := p.Prog.Index()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !idx.handler[fn] || p.IsTestFile(fd.Pos()) {
+				continue
+			}
+			p.checkEffortBound(fd, fn)
+		}
+	}
+}
+
+func (p *Pass) checkEffortBound(fd *ast.FuncDecl, fn *types.Func) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if loop, ok := n.(*ast.ForStmt); ok && loop.Cond == nil {
+			if !hasEscape(loop.Body) {
+				p.Reportf(loop.For,
+					"condition-less for loop with no break or return in handler-path code never yields back to the event loop; bound the iteration or exit explicitly")
+			}
+		}
+		return true
+	})
+	p.checkUnguardedRecursion(fd.Body, fn, false)
+}
+
+// hasEscape reports whether body contains a break or return that can
+// terminate the enclosing loop. Breaks inside nested loops or switch/select
+// statements bind to the inner statement and do not count; a labeled break
+// is conservatively assumed to escape.
+func hasEscape(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, breakBinds bool)
+	walk = func(n ast.Node, breakBinds bool) {
+		if found || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			switch n.Tok.String() {
+			case "break":
+				if breakBinds || n.Label != nil {
+					found = true
+				}
+			case "goto":
+				// A goto can jump out of the loop; assume it does.
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			ast.Inspect(n, func(inner ast.Node) bool {
+				if ret, ok := inner.(*ast.ReturnStmt); ok && ret != nil {
+					found = true
+				}
+				if br, ok := inner.(*ast.BranchStmt); ok && br.Label != nil {
+					found = true
+				}
+				return !found
+			})
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// break binds to the switch; only returns/labeled breaks escape.
+			ast.Inspect(n, func(inner ast.Node) bool {
+				switch inner := inner.(type) {
+				case *ast.ReturnStmt:
+					found = true
+				case *ast.BranchStmt:
+					if inner.Label != nil || inner.Tok.String() == "goto" {
+						found = true
+					}
+				case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+					return false
+				}
+				return !found
+			})
+		case *ast.FuncLit:
+			// Returns inside a closure do not exit the loop.
+		case *ast.BlockStmt:
+			for _, stmt := range n.List {
+				walk(stmt, breakBinds)
+			}
+		case *ast.IfStmt:
+			walk(n.Body, breakBinds)
+			walk(n.Else, breakBinds)
+		case *ast.LabeledStmt:
+			walk(n.Stmt, breakBinds)
+		default:
+			ast.Inspect(n, func(inner ast.Node) bool {
+				switch inner.(type) {
+				case *ast.ReturnStmt:
+					found = true
+				case *ast.BranchStmt:
+					found = true // conservative inside unmodeled statements
+				case *ast.FuncLit:
+					return false
+				}
+				return !found
+			})
+		}
+	}
+	walk(body, true)
+	return found
+}
+
+// checkUnguardedRecursion reports calls of fn to itself that no conditional
+// statement guards: recursion without a branch deciding termination cannot
+// terminate. guarded tracks whether the walk has entered an if, switch,
+// select or condition-bearing loop.
+func (p *Pass) checkUnguardedRecursion(n ast.Node, fn *types.Func, guarded bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		guarded = true
+	case *ast.ForStmt:
+		if n.Cond != nil {
+			guarded = true
+		}
+	case *ast.RangeStmt:
+		guarded = true
+	case *ast.FuncLit:
+		// Closures are separate call frames; a self-call inside one is
+		// only reached when the closure runs, which the scheduler guards.
+		return
+	case *ast.CallExpr:
+		if id := calleeIdent(n.Fun); id != nil && !guarded {
+			if callee, ok := p.Info.Uses[id].(*types.Func); ok && callee == fn {
+				p.Reportf(n.Pos(),
+					"%s calls itself unconditionally; the recursion has no terminating branch and overflows the stack on any triggering input — guard the self-call or iterate",
+					fn.Name())
+			}
+		}
+	}
+	for _, child := range childNodes(n) {
+		p.checkUnguardedRecursion(child, fn, guarded)
+	}
+}
+
+// calleeIdent extracts the identifier a call resolves through: a bare name
+// or the selector of a method/package call.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	case *ast.ParenExpr:
+		return calleeIdent(fun.X)
+	}
+	return nil
+}
+
+// childNodes returns n's direct children, in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var children []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			children = append(children, c)
+		}
+		return false
+	})
+	return children
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutinePurity flags process-level concurrency inside the simulation's
+// handler paths: `go` statements, channel operations (send, receive,
+// select, range) and sync/sync-atomic usage in code reachable
+// from a node handler (a method on a Start/Deliver/Stop-shaped type) —
+// i.e. the code the virtual-time kernel executes. Handlers run
+// single-threaded under the sequential kernel and partition-parallel under
+// the conservative PDES mode; either way, real goroutines and locks inside
+// them couple the simulated event stream to the Go scheduler and the
+// host's core count, which no experiment seed controls. The sanctioned
+// barrier seam — internal/sim's parallel driver, internal/simnet's sharded
+// state and internal/parsim — is exempt: that is exactly where
+// cross-partition concurrency is allowed to live, behind the keyed merge
+// that makes it byte-identical. Struct fields of sync types are flagged at
+// the declaration so one suppression covers every lock site:
+//
+//	mu sync.Mutex //stabl:nodet goroutine-purity -- guards cross-run memoization only
+var GoroutinePurity = &Analyzer{
+	Name: "goroutine-purity",
+	Doc:  "goroutines, channels or sync primitives in handler-path code outside the parsim seam",
+	Run:  runGoroutinePurity,
+}
+
+// seamPkgs is the sanctioned concurrency seam: the parallel kernel and the
+// layers that implement its barrier/merge machinery.
+var seamPkgs = map[string]bool{
+	"stabl/internal/sim":    true,
+	"stabl/internal/simnet": true,
+	"stabl/internal/parsim": true,
+}
+
+func runGoroutinePurity(p *Pass) {
+	if seamPkgs[p.Pkg.Path()] {
+		return
+	}
+	idx := p.Prog.Index()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !idx.handler[fn] || p.IsTestFile(fd.Pos()) {
+				continue
+			}
+			p.checkHandlerConcurrency(fd.Body)
+		}
+	}
+	// Sync-typed fields and variables are flagged at the declaration even
+	// before any handler locks them: the field is the design decision.
+	p.checkSyncDecls()
+}
+
+// checkHandlerConcurrency flags concurrency constructs inside one
+// handler-path function body.
+func (p *Pass) checkHandlerConcurrency(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(),
+				"go statement in handler-path code: handlers execute in virtual time under the kernel's partition plan; spawning goroutines hands event order to the Go scheduler — schedule through sim.Scheduler / simnet.Context instead")
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(),
+				"channel send in handler-path code: channel scheduling is invisible to the experiment seed — deliver through the simnet message path instead")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.Reportf(n.Pos(),
+					"channel receive in handler-path code: channel scheduling is invisible to the experiment seed — deliver through the simnet message path instead")
+			}
+		case *ast.SelectStmt:
+			p.Reportf(n.Pos(),
+				"select in handler-path code: select picks ready cases pseudo-randomly, which no experiment seed controls")
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					p.Reportf(n.For,
+						"range over a channel in handler-path code: channel scheduling is invisible to the experiment seed")
+				}
+			}
+		case *ast.Ident:
+			if fn, ok := p.Info.Uses[n].(*types.Func); ok && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "sync", "sync/atomic":
+					p.Reportf(n.Pos(),
+						"%s.%s in handler-path code: locks and atomics order racing accesses nondeterministically — handler state must be partition-local, mutated only through the message-delivery path",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSyncDecls flags struct fields and package-level variables of sync /
+// sync/atomic types in simulated packages that declare handler-path code.
+// The declaration is reported (not each use) so one //stabl:nodet on the
+// field line documents the justification once. Orchestration packages that
+// import the chains but never run inside the kernel (campaign workers fan
+// out whole experiments across OS threads) keep their mutexes.
+func (p *Pass) checkSyncDecls() {
+	if !simulatedPackage(p.Pkg) || !p.declaresHandlerCode() {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			field, ok := n.(*ast.Field)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || p.IsTestFile(field.Pos()) {
+				return true
+			}
+			if pkg := namedTypePkg(tv.Type); pkg == "sync" || pkg == "sync/atomic" {
+				p.Reportf(field.Pos(),
+					"%s field in a simulated package: handler state must be partition-local and mutated only through the message-delivery path; if this guards cross-run (not cross-node) state, justify with //stabl:nodet goroutine-purity",
+					types.ExprString(field.Type))
+			}
+			return true
+		})
+	}
+}
+
+// declaresHandlerCode reports whether the current package declares at least
+// one handler-path function.
+func (p *Pass) declaresHandlerCode() bool {
+	idx := p.Prog.Index()
+	for fn := range idx.handler {
+		if idx.owner[fn] == p.Target {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypePkg returns the import path of the named type behind t (pointers
+// stripped), or "".
+func namedTypePkg(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}

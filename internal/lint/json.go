@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the machine-readable rendering of one finding. The
+// field order is fixed by this struct and the encoding is one object per
+// line, so `stabl lint -json` output is byte-identical across runs exactly
+// like the text form — CI diffing and tooling can treat it as canonical.
+type jsonDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSON renders diagnostics as a JSON array, one object per finding in
+// the given (already sorted) order. Suppressed findings are included and
+// flagged rather than dropped, so consumers can audit the //stabl:nodet
+// escape hatches in force; callers deciding exit status should count only
+// the unsuppressed ones (as Exitable does).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			Analyzer:   d.Analyzer,
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Exitable counts the diagnostics that should fail the run: everything not
+// covered by a //stabl:nodet directive.
+func Exitable(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			n++
+		}
+	}
+	return n
+}

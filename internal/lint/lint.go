@@ -13,17 +13,23 @@
 // failures, the invariants are encoded here as analyzers and enforced by
 // `stabl lint` (wired into `make verify`).
 //
-// The engine is deliberately small: an Analyzer is a named function over a
-// type-checked package; diagnostics are position-sorted so output is
+// The engine analyzes whole programs, not single packages: Load type-checks
+// the target packages plus every module-local dependency through one shared
+// FileSet/importer, and callgraph.go layers a cross-package call graph and
+// taint engine on top (interface dispatch resolved over the module's
+// concrete implementers), so a map range whose body reaches the RNG through
+// a helper in another package is flagged just like a direct draw. An
+// Analyzer is a named function over one target package with program-wide
+// indexes in reach; diagnostics are position-sorted so output is
 // byte-identical across runs; and a `//stabl:nodet` comment suppresses a
 // finding on its own line or the line below, optionally scoped to specific
 // analyzers, with a justification after `--`:
 //
 //	//stabl:nodet globalrand -- validation-only context, values unused
 //
-// Packages are loaded and type-checked with go/parser + go/types only; the
-// go toolchain (via `go list`) resolves import paths, so the module needs
-// no dependencies beyond the standard library.
+// Packages are loaded and type-checked with go/parser + go/types only; one
+// `go list -deps -json` invocation (cached across the run) resolves import
+// paths, so the module needs no dependencies beyond the standard library.
 package lint
 
 import (
@@ -51,13 +57,18 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package through one analyzer. Prog is the
+// whole program the package was loaded into: analyzers that follow calls
+// across package boundaries (taint, reachability, field writes) go through
+// its indexes; package-local analyzers can ignore it.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
+	Target   *Package
 
 	diags *[]Diagnostic
 }
@@ -80,24 +91,41 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // Diagnostic is one finding. String renders the conventional
 // path:line:col: [analyzer] message form shared by `stabl lint` and
-// `stabllint`.
+// `stabllint`. Suppressed marks findings silenced by a //stabl:nodet
+// directive: Run drops them, RunAll keeps them flagged so -json consumers
+// can audit the escape hatches in use.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Run applies the analyzers to every package and returns the surviving
-// diagnostics: suppressed findings are dropped, the rest deduplicated and
-// sorted by (file, line, column, analyzer, message) so two runs over the
-// same tree produce byte-identical output.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// Run applies the analyzers to the program's target packages and returns
+// the surviving diagnostics: suppressed findings are dropped, the rest
+// deduplicated and sorted so two runs over the same tree produce
+// byte-identical output.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	all := RunAll(prog, analyzers)
+	out := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: every finding is returned,
+// sorted by (file, line, column, analyzer, message), with the ones a
+// //stabl:nodet directive covers marked Suppressed instead of dropped.
+func RunAll(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range prog.Pkgs {
 		sup := suppressions(pkg.Fset, pkg.Files)
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
@@ -107,14 +135,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
+				Target:   pkg,
 				diags:    &pkgDiags,
 			}
 			a.Run(pass)
 		}
 		for _, d := range pkgDiags {
-			if !sup.covers(d) {
-				diags = append(diags, d)
-			}
+			d.Suppressed = sup.covers(d)
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"regexp"
@@ -13,8 +14,9 @@ import (
 
 // fixtureAnalyzers maps each testdata/src package to the analyzers it
 // seeds. Every analyzer has at least one true-positive and one clean
-// fixture; the suppress package exercises the //stabl:nodet escape hatch
-// and wallclockfree the wallclock applicability gate.
+// fixture; the suppress package exercises the //stabl:nodet escape hatch,
+// wallclockfree the wallclock applicability gate, and crosstaint the
+// cross-package taint resolution the PR 5 package-local engine lacked.
 var fixtureAnalyzers = map[string]string{
 	"maprange":       "maprange-rng",
 	"wallclock":      "wallclock",
@@ -24,6 +26,10 @@ var fixtureAnalyzers = map[string]string{
 	"suppress":       "globalrand",
 	"snapshotorder":  "snapshot-maporder",
 	"crosspartition": "cross-partition-state",
+	"crosstaint":     "maprange-rng",
+	"snapshotfields": "snapshot-fields",
+	"goroutine":      "goroutine-purity",
+	"effortbound":    "effort-bound",
 }
 
 func fixtureDirs() []string {
@@ -35,13 +41,13 @@ func fixtureDirs() []string {
 	return dirs
 }
 
-func loadFixture(t *testing.T, dir string) *lint.Package {
+func loadFixture(t *testing.T, dir string) *lint.Program {
 	t.Helper()
-	pkg, err := lint.LoadDir(filepath.Join("testdata", "src", dir), "stabl/internal/lint/testdata/"+dir)
+	prog, err := lint.LoadDir(filepath.Join("testdata", "src", dir), "stabl/internal/lint/testdata/"+dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	return pkg
+	return prog
 }
 
 func runFixture(t *testing.T, dir string) []lint.Diagnostic {
@@ -50,7 +56,7 @@ func runFixture(t *testing.T, dir string) []lint.Diagnostic {
 	if err != nil {
 		t.Fatalf("selecting analyzers for %s: %v", dir, err)
 	}
-	return lint.Run([]*lint.Package{loadFixture(t, dir)}, analyzers)
+	return lint.Run(loadFixture(t, dir), analyzers)
 }
 
 // wantRe extracts `want "substring"` expectations from fixture comments.
@@ -62,17 +68,19 @@ type expectation struct {
 	met  bool
 }
 
-func fixtureWants(pkg *lint.Package) []*expectation {
+func fixtureWants(prog *lint.Program) []*expectation {
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
-					pos := pkg.Fset.Position(c.Pos())
-					wants = append(wants, &expectation{
-						key:  fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
-						text: m[1],
-					})
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{
+							key:  fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+							text: m[1],
+						})
+					}
 				}
 			}
 		}
@@ -83,18 +91,18 @@ func fixtureWants(pkg *lint.Package) []*expectation {
 // TestFixtures checks every analyzer against its seeded violations: each
 // `want` comment must be matched by a diagnostic on its line, and no
 // diagnostic may fire without a matching want — so the clean idioms
-// (sorted keys, threaded seeds, virtual time) prove the analyzers stay
-// silent where they should.
+// (sorted keys, threaded seeds, virtual time, guarded recursion) prove the
+// analyzers stay silent where they should.
 func TestFixtures(t *testing.T) {
 	for _, dir := range fixtureDirs() {
 		t.Run(dir, func(t *testing.T) {
-			pkg := loadFixture(t, dir)
+			prog := loadFixture(t, dir)
 			analyzers, err := lint.Select(fixtureAnalyzers[dir])
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := lint.Run([]*lint.Package{pkg}, analyzers)
-			wants := fixtureWants(pkg)
+			diags := lint.Run(prog, analyzers)
+			wants := fixtureWants(prog)
 			for _, d := range diags {
 				key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 				matched := false
@@ -118,10 +126,71 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestDeterministicOutput loads and analyzes every fixture twice from
-// scratch (fresh FileSets, fresh type-checkers, fresh analyzer state) and
+// TestCrossPackageTaint pins the property the whole-program engine exists
+// for: every finding in the crosstaint fixture is reached through another
+// package, so the diagnostic text must name the cross-package call chain —
+// a package-local engine would have had nothing to resolve the call to.
+// (The structural half of the proof — no sink is lexically visible in the
+// fixture's own package — lives in the internal test next to the sink
+// table.)
+func TestCrossPackageTaint(t *testing.T) {
+	diags := runFixture(t, "crosstaint")
+	if len(diags) == 0 {
+		t.Fatal("crosstaint fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "helper.") {
+			t.Errorf("diagnostic does not cross the package boundary: %s", d)
+		}
+	}
+}
+
+// TestSuppressionScoping covers the //stabl:nodet escape hatch on the new
+// analyzers: a directive naming the analyzer silences the finding (but
+// RunAll still surfaces it, flagged, for -json audits), and a directive
+// naming a different analyzer suppresses nothing.
+func TestSuppressionScoping(t *testing.T) {
+	cases := []struct {
+		dir, analyzer, field string
+	}{
+		{"snapshotfields", "snapshot-fields", "cache"},
+		{"goroutine", "goroutine-purity", "quiet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			prog := loadFixture(t, tc.dir)
+			analyzers, err := lint.Select(tc.analyzer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var suppressed []lint.Diagnostic
+			for _, d := range lint.RunAll(prog, analyzers) {
+				if d.Suppressed {
+					suppressed = append(suppressed, d)
+				}
+			}
+			if len(suppressed) != 1 {
+				t.Fatalf("RunAll surfaced %d suppressed findings, want exactly 1 (the %s field): %v",
+					len(suppressed), tc.field, suppressed)
+			}
+			for _, d := range lint.Run(prog, analyzers) {
+				if d.Suppressed {
+					t.Errorf("Run returned a suppressed diagnostic: %s", d)
+				}
+			}
+		})
+	}
+	// The wrongScope field in snapshotfields carries a directive naming the
+	// wallclock analyzer; TestFixtures already requires the snapshot-fields
+	// diagnostic to fire there, which proves mismatched scopes do not leak.
+}
+
+// TestDeterministicOutput loads and analyzes every fixture twice and
 // requires the rendered diagnostics to be byte-identical — the same
-// property `make verify` relies on for the full tree.
+// property `make verify` relies on for the full tree. The first render in
+// the process pays the cold load; later renders hit the process-wide
+// loader cache, so this doubles as the cached-path identity check (the
+// internal cache test covers cold-vs-warm explicitly).
 func TestDeterministicOutput(t *testing.T) {
 	render := func() string {
 		var b strings.Builder
@@ -142,15 +211,56 @@ func TestDeterministicOutput(t *testing.T) {
 	}
 }
 
-// TestSelect covers the analyzer registry: default-all, subsets, and the
-// ParseFaultKind-style error that enumerates valid names on a typo.
+// TestWriteJSON pins the machine-readable format: stable field order,
+// one object per finding, suppressed findings present and flagged.
+func TestWriteJSON(t *testing.T) {
+	prog := loadFixture(t, "snapshotfields")
+	analyzers, err := lint.Select("snapshot-fields")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := lint.WriteJSON(&b, lint.RunAll(prog, analyzers)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(decoded) == 0 {
+		t.Fatal("JSON output is empty")
+	}
+	keyOrder := regexp.MustCompile(`(?s)"analyzer".*"file".*"line".*"col".*"message".*"suppressed"`)
+	if !keyOrder.MatchString(out) {
+		t.Errorf("JSON fields are not in the documented order:\n%s", out)
+	}
+	sawSuppressed := false
+	for _, obj := range decoded {
+		for _, key := range []string{"analyzer", "file", "line", "col", "message", "suppressed"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("finding is missing %q: %v", key, obj)
+			}
+		}
+		if obj["suppressed"] == true {
+			sawSuppressed = true
+		}
+	}
+	if !sawSuppressed {
+		t.Error("no suppressed finding in the JSON output; the cache field should be there, flagged")
+	}
+}
+
+// TestSelect covers the analyzer registry: default-all, subsets, the
+// "all" keyword mixed with explicit names, and the ParseFaultKind-style
+// error that enumerates valid names on a typo.
 func TestSelect(t *testing.T) {
 	all, err := lint.Select("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 6 {
-		t.Fatalf("Select(\"\") returned %d analyzers, want 6", len(all))
+	if len(all) != 9 {
+		t.Fatalf("Select(\"\") returned %d analyzers, want 9", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {
@@ -164,6 +274,23 @@ func TestSelect(t *testing.T) {
 	}
 	if len(subset) != 2 {
 		t.Fatalf("Select(subset) returned %d analyzers, want 2", len(subset))
+	}
+
+	// "all" anywhere in the list selects everything rather than erroring
+	// as an unknown analyzer named "all".
+	for _, list := range []string{"all", "all,wallclock", "wallclock,all"} {
+		got, err := lint.Select(list)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", list, err)
+		}
+		if len(got) != len(all) {
+			t.Fatalf("Select(%q) returned %d analyzers, want %d", list, len(got), len(all))
+		}
+	}
+
+	// ...but the names riding along with "all" are still validated.
+	if _, err := lint.Select("all,bogus"); err == nil {
+		t.Fatal("Select(\"all,bogus\") succeeded, want error")
 	}
 
 	_, err = lint.Select("bogus")
@@ -188,11 +315,11 @@ func TestTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-tree typecheck is slow; covered by make verify")
 	}
-	pkgs, err := lint.Load([]string{"stabl/..."})
+	prog, err := lint.Load([]string{"stabl/..."})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diags := lint.Run(pkgs, lint.All()); len(diags) != 0 {
+	if diags := lint.Run(prog, lint.All()); len(diags) != 0 {
 		for _, d := range diags {
 			t.Errorf("%s", d)
 		}

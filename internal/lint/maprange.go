@@ -6,60 +6,26 @@ import (
 )
 
 // MapRangeRNG flags `range` statements over maps whose body — transitively,
-// through calls to functions in the same package — draws from an RNG
-// stream, sends on the simulated network, or schedules events. Go
-// randomizes map iteration order, so any such loop makes the run's event
+// through calls to functions in any package of the module, method values,
+// and interface dispatch over the module's concrete implementers — draws
+// from an RNG stream, sends on the simulated network, or schedules events.
+// Go randomizes map iteration order, so any such loop makes the run's event
 // stream depend on per-process hash seeds instead of the experiment seed.
 // This is exactly the bug class behind all four nondeterminism fixes
 // shipped so far (client retry, conn keep-alive, redbelly resendRound,
 // avalanche closeRound); the fix is the sorted-keys idiom those commits
 // introduced: collect the keys into a slice, sort it, then range the slice.
+//
+// The PR 5 engine resolved calls within one package only, so a loop that
+// reached the RNG through a helper in a sibling internal package passed;
+// the whole-program taint engine (callgraph.go) closes that hole.
 var MapRangeRNG = &Analyzer{
 	Name: "maprange-rng",
-	Doc:  "range over a map whose body draws RNG, sends on the simnet, or schedules events",
+	Doc:  "range over a map whose body draws RNG, sends on the simnet, or schedules events (cross-package)",
 	Run:  runMapRangeRNG,
 }
 
 func runMapRangeRNG(p *Pass) {
-	// Package-local call graph: map each declared function to its body so
-	// sinks reached through helpers in the same package are found too.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
-			}
-		}
-	}
-
-	// nondet reports whether fn transitively reaches a sink, memoized.
-	// visiting breaks recursion cycles; the first sink in source order wins
-	// so messages are deterministic.
-	memo := make(map[*types.Func]string) // "" = proven clean
-	visiting := make(map[*types.Func]bool)
-	var nondet func(fn *types.Func) string
-	nondet = func(fn *types.Func) string {
-		if desc, ok := memo[fn]; ok {
-			return desc
-		}
-		if visiting[fn] {
-			return ""
-		}
-		fd, ok := decls[fn]
-		if !ok {
-			return ""
-		}
-		visiting[fn] = true
-		desc := p.scanForSink(fd.Body, nondet, fn)
-		delete(visiting, fn)
-		memo[fn] = desc
-		return desc
-	}
-
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			rng, ok := n.(*ast.RangeStmt)
@@ -73,7 +39,7 @@ func runMapRangeRNG(p *Pass) {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if desc := p.scanForSink(rng.Body, nondet, nil); desc != "" {
+			if desc := p.Prog.scanForSink(rng.Body, p.Target, nil); desc != "" {
 				p.Reportf(rng.For,
 					"range over map %s: body %s, so the event stream follows Go's randomized map order; collect the keys, sort, then range the slice",
 					types.ExprString(rng.X), desc)
@@ -81,37 +47,4 @@ func runMapRangeRNG(p *Pass) {
 			return true
 		})
 	}
-}
-
-// scanForSink walks body in source order and returns a description of the
-// first order-sensitive sink it reaches, either directly or through a call
-// to (or reference of) a package-local function. self, when non-nil, is
-// skipped so recursive functions do not report through themselves.
-func (p *Pass) scanForSink(body ast.Node, nondet func(*types.Func) string, self *types.Func) string {
-	var found string
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found != "" {
-			return false
-		}
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		fn, ok := p.Info.Uses[id].(*types.Func)
-		if !ok || fn == self {
-			return true
-		}
-		if desc, ok := sinkFunc(fn); ok {
-			found = desc
-			return false
-		}
-		if fn.Pkg() == p.Pkg {
-			if desc := nondet(fn); desc != "" {
-				found = "calls " + fn.Name() + ", which " + desc
-				return false
-			}
-		}
-		return true
-	})
-	return found
 }

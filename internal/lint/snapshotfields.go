@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapshotFields verifies Snapshot/Restore completeness: for every struct
+// type implementing the snapshot.Forkable shape (a Snapshot() method with
+// one result and a Restore(state) method with one parameter), every mutable
+// field must be referenced by both methods. A field is mutable when some
+// function in the program assigns through it (x.f = v, x.f++, x.f[k] = v, a
+// write through a promoted path, or &x.f escaping) after construction —
+// writes inside test files, inside constructors (functions whose results
+// include the type) and inside the type's own Snapshot*/Restore* methods do
+// not count. "References" is deliberately weaker than "deep-copies":
+// identity-preserved pointer fields (tickers, RNG streams, round-state
+// pointers) are captured by storing the pointer, which still shows up as a
+// field selection; what the analyzer catches is the silent killer — a field
+// added to a Forkable struct, mutated by the protocol, and never seen by
+// Snapshot at all, which breaks fork-vs-replay byte-identity without
+// failing any golden until a scenario happens to exercise it.
+//
+// Deliberately-volatile fields (caches safe to lose across a fork, like the
+// overlay dupemaps) opt out per field:
+//
+//	dupes map[string]bool //stabl:nodet snapshot-fields -- best-effort cache, rebuilt on demand
+var SnapshotFields = &Analyzer{
+	Name: "snapshot-fields",
+	Doc:  "mutable field of a Forkable struct missed by its Snapshot or Restore method",
+	Run:  runSnapshotFields,
+}
+
+func runSnapshotFields(p *Pass) {
+	idx := p.Prog.Index()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				p.checkForkableType(idx, named)
+			}
+		}
+	}
+}
+
+// checkForkableType verifies one candidate type: if it has the Forkable
+// method shape and a struct underlying, every mutable field must be
+// referenced by both Snapshot and Restore.
+func (p *Pass) checkForkableType(idx *programIndex, named *types.Named) {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	snap := forkableMethod(named, "Snapshot", 0, 1)
+	restore := forkableMethod(named, "Restore", 1, 0)
+	if snap == nil || restore == nil {
+		return
+	}
+	snapRefs := p.Prog.fieldRefs(snap, st)
+	restoreRefs := p.Prog.fieldRefs(restore, st)
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !p.fieldMutable(idx, named, field) {
+			continue
+		}
+		missSnap := !snapRefs[field]
+		missRestore := !restoreRefs[field]
+		if !missSnap && !missRestore {
+			continue
+		}
+		var miss string
+		switch {
+		case missSnap && missRestore:
+			miss = "Snapshot or Restore"
+		case missSnap:
+			miss = "Snapshot"
+		default:
+			miss = "Restore"
+		}
+		p.Reportf(field.Pos(),
+			"field %s of %s is mutated after construction but never referenced by (%s).%s; a fork silently loses its state — copy it in Snapshot and write it back in Restore, or justify with //stabl:nodet snapshot-fields",
+			field.Name(), named.Obj().Name(), named.Obj().Name(), miss)
+	}
+}
+
+// fieldMutable reports whether some function in the program writes through
+// the field outside construction and checkpoint plumbing.
+func (p *Pass) fieldMutable(idx *programIndex, named *types.Named, field *types.Var) bool {
+	for _, fn := range idx.fieldWrites[field] {
+		if isConstructorOf(fn, named) || p.Prog.createsType(fn, named) {
+			continue
+		}
+		if recv := methodReceiverNamed(fn); recv == named &&
+			(strings.HasPrefix(fn.Name(), "Snapshot") || strings.HasPrefix(fn.Name(), "Restore")) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// forkableMethod returns the explicitly declared method of the given name
+// and arity on named (value or pointer receiver), or nil.
+func forkableMethod(named *types.Named, name string, params, results int) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != name {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if ok && sig.Params().Len() == params && sig.Results().Len() == results {
+			return m
+		}
+	}
+	return nil
+}
+
+// methodReceiverNamed returns the named receiver type of fn, nil for
+// package-level functions.
+func methodReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isConstructorOf reports whether fn's results include named or *named —
+// the New*/build* functions whose field writes are initialization, not
+// post-checkpoint mutation. Constructors that return the value behind an
+// interface (NewValidator returning simnet.Handler) are caught by
+// Program.createsType instead.
+func isConstructorOf(fn *types.Func, named *types.Named) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if t == named.Obj().Type() {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldRefs collects the fields of st referenced anywhere in the body of
+// method — or of any same-package function it transitively calls (helpers
+// like restoreState and copySeries). A reference through a promoted path
+// credits the first-hop field, mirroring the write index.
+func (prog *Program) fieldRefs(method *types.Func, st *types.Struct) map[*types.Var]bool {
+	idx := prog.Index()
+	refs := make(map[*types.Var]bool)
+	seen := make(map[*types.Func]bool)
+	var walk func(fn *types.Func)
+	walk = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		fd, ok := idx.decls[fn]
+		if !ok {
+			return
+		}
+		owner := idx.owner[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := owner.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if fv := firstHopField(sel); fv != nil {
+						refs[fv] = true
+					}
+				}
+			case *ast.Ident:
+				if callee, ok := owner.Info.Uses[n].(*types.Func); ok && callee.Pkg() == fn.Pkg() {
+					if _, declared := idx.decls[callee]; declared {
+						walk(callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(method)
+	// Keep only fields of st: helpers touch other structs too.
+	for fv := range refs {
+		found := false
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fv {
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(refs, fv)
+		}
+	}
+	return refs
+}

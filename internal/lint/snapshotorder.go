@@ -24,53 +24,13 @@ var SnapshotMapOrder = &Analyzer{
 }
 
 func runSnapshotMapOrder(p *Pass) {
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
-			}
-		}
-	}
-
-	// The snapshot path: Snapshot*/Restore* declarations plus the
-	// package-local helpers they reach (restoreState, copySeries, …).
-	// Marking is idempotent, so the map-ordered seeding below cannot
-	// affect the resulting set.
-	inPath := make(map[*types.Func]bool)
-	var mark func(fn *types.Func)
-	mark = func(fn *types.Func) {
-		if inPath[fn] {
-			return
-		}
-		inPath[fn] = true
-		fd := decls[fn]
-		if fd == nil {
-			return
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			if callee, ok := p.Info.Uses[id].(*types.Func); ok && callee.Pkg() == p.Pkg {
-				if _, declared := decls[callee]; declared {
-					mark(callee)
-				}
-			}
-			return true
-		})
-	}
-	for fn, fd := range decls {
-		name := fd.Name.Name
-		if strings.HasPrefix(name, "Snapshot") || strings.HasPrefix(name, "Restore") {
-			mark(fn)
-		}
-	}
+	// The snapshot path: Snapshot*/Restore* declarations plus every
+	// function they reach — across package boundaries, so a chain's
+	// Snapshot delegating serialization to a helper package keeps the
+	// helper under scrutiny. The reachability set is computed once per
+	// program (callgraph.go); this pass checks the members declared in the
+	// current package.
+	inPath := p.Prog.Index().snapPath
 
 	for _, f := range p.Files {
 		for _, d := range f.Decls {

@@ -1,0 +1,64 @@
+// Package crosstaint seeds the cross-package half of maprange-rng: every
+// sink here is reached through the helper subpackage or through interface
+// dispatch onto a helper implementation — no RNG draw is lexically visible
+// in this package. The PR 5 engine resolved calls within one package only,
+// so this entire file passed it; the whole-program taint engine reports
+// each loop with the cross-package call chain in the message.
+package crosstaint
+
+import (
+	"math/rand"
+	"sort"
+
+	"stabl/internal/lint/testdata/crosstaint/helper"
+)
+
+type sampler struct {
+	weights map[string]int
+	rng     *rand.Rand
+	choose  helper.Chooser
+}
+
+// pickBuggy draws through a cross-package helper inside a map range.
+func (s *sampler) pickBuggy() int {
+	total := 0
+	for _, w := range s.weights { // want "calls helper.Pick, which draws"
+		total += helper.Pick(s.rng, w+1)
+	}
+	return total
+}
+
+// dispatchBuggy draws through interface dispatch: the concrete
+// implementation that advances the stream lives behind helper.Chooser.
+func (s *sampler) dispatchBuggy() int {
+	total := 0
+	for _, w := range s.weights { // want "via Chooser.Choose"
+		total += s.choose.Choose(w + 1)
+	}
+	return total
+}
+
+// weighClean calls a pure cross-package helper: no sink is reachable, so
+// the loop may range the map directly.
+func (s *sampler) weighClean() int {
+	total := 0
+	for _, w := range s.weights {
+		total += helper.Weight(w)
+	}
+	return total
+}
+
+// pickSorted is the idiomatic fix: collect the keys, sort, then draw in
+// slice order.
+func (s *sampler) pickSorted() int {
+	keys := make([]string, 0, len(s.weights))
+	for k := range s.weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += helper.Pick(s.rng, s.weights[k]+1)
+	}
+	return total
+}

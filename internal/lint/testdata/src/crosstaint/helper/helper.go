@@ -1,0 +1,30 @@
+// Package helper hides order-sensitive draws behind an exported API. A
+// package-local taint engine analyzing the parent fixture sees only opaque
+// calls into this package and stays silent; the whole-program call graph
+// follows them here and finds the sinks.
+package helper
+
+import "math/rand"
+
+// Pick draws from the stream: calling it inside a map range leaks Go's
+// randomized iteration order into the draw sequence.
+func Pick(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// Weight is pure: no draw, no send, no scheduling.
+func Weight(n int) int { return n * 3 }
+
+// Chooser is the dispatch seam: a caller holding the interface cannot see
+// which implementation draws.
+type Chooser interface{ Choose(n int) int }
+
+// RandomChooser draws on every call.
+type RandomChooser struct{ RNG *rand.Rand }
+
+// Choose advances the stream.
+func (c *RandomChooser) Choose(n int) int { return c.RNG.Intn(n) }
+
+// FixedChooser is pure.
+type FixedChooser struct{}
+
+// Choose returns its input untouched.
+func (FixedChooser) Choose(n int) int { return n }

@@ -1,0 +1,82 @@
+// Package effortbound seeds the effort-bound analyzer: statically-unbounded
+// control flow in handler-path code. The node type is handler-shaped, so
+// its methods run inside a handler's virtual instant and must terminate on
+// every input. Loops that bound themselves (a condition, a range operand, a
+// break or return) and recursion behind a guard stay silent, as does
+// anything outside the handler path.
+package effortbound
+
+type node struct {
+	pending []int
+	depth   int
+}
+
+func (n *node) Start(ctx any)                 {}
+func (n *node) Deliver(from int, payload any) { n.spin() }
+func (n *node) Stop()                         {}
+
+// spin never exits: nothing in the body breaks or returns.
+func (n *node) spin() {
+	for { // want "condition-less for loop with no break or return"
+		n.depth++
+	}
+}
+
+// walkBuggy recurses with no terminating branch.
+func (n *node) walkBuggy(d int) {
+	n.depth = d
+	n.walkBuggy(d + 1) // want "walkBuggy calls itself unconditionally"
+}
+
+// drainClean bounds itself with a break.
+func (n *node) drainClean() {
+	for {
+		if len(n.pending) == 0 {
+			break
+		}
+		n.pending = n.pending[1:]
+	}
+}
+
+// retryClean exits through a return.
+func (n *node) retryClean() {
+	for {
+		if n.depth > 8 {
+			return
+		}
+		n.depth++
+	}
+}
+
+// countClean is bounded by its condition and range operands.
+func (n *node) countClean() {
+	for i := 0; i < len(n.pending); i++ {
+		n.depth += n.pending[i]
+	}
+	for _, v := range n.pending {
+		n.depth += v
+	}
+}
+
+// walkClean guards the self-call: the branch decides termination.
+func (n *node) walkClean(d int) {
+	if d > 0 {
+		n.walkClean(d - 1)
+	}
+}
+
+// deferClean wraps the self-call in a closure: a separate call frame the
+// scheduler decides to run or not.
+func (n *node) deferClean() func() {
+	return func() { n.deferClean() }
+}
+
+// harness is not handler-shaped; its busy loop is the harness's own
+// business.
+type harness struct{ ticks int }
+
+func (h *harness) loop() {
+	for {
+		h.ticks++
+	}
+}

@@ -1,0 +1,63 @@
+// Package goroutine seeds the goroutine-purity analyzer: process-level
+// concurrency inside handler-path code. The node type is handler-shaped
+// (Start/Deliver/Stop), so every method on it — and everything those
+// methods reach — runs inside the virtual-time kernel, where goroutines,
+// channels and locks couple event order to the Go scheduler. The same
+// constructs in harness code outside the handler path stay silent.
+package goroutine
+
+import (
+	"sync"
+
+	"stabl/internal/sim"
+)
+
+// The import makes this a simulated package (see simCorePkgs), which is
+// what arms the sync-field declaration check.
+var _ = sim.New
+
+type node struct {
+	height  int
+	results chan int
+	mu      sync.Mutex // want "sync.Mutex field in a simulated package"
+	//stabl:nodet goroutine-purity -- guards cross-run memoization only, never cross-node state
+	quiet sync.Mutex
+}
+
+func (n *node) Start(ctx any) {
+	go n.pump() // want "go statement in handler-path code"
+}
+
+func (n *node) Deliver(from int, payload any) {
+	n.mu.Lock()         // want "sync.Lock in handler-path code"
+	defer n.mu.Unlock() // want "sync.Unlock in handler-path code"
+	n.results <- n.height // want "channel send in handler-path code"
+}
+
+func (n *node) Stop() {
+	v := <-n.results // want "channel receive in handler-path code"
+	n.height = v
+	select { // want "select in handler-path code"
+	case w := <-n.results: // want "channel receive in handler-path code"
+		n.height = w
+	default:
+	}
+}
+
+// pump is handler-path by reachability: Start references it.
+func (n *node) pump() {
+	for v := range n.results { // want "range over a channel in handler-path code"
+		n.height += v
+	}
+}
+
+// drive is harness orchestration — no handler-shaped receiver reaches it —
+// so its goroutine and channel use is the harness's own business.
+func drive(n *node) {
+	done := make(chan struct{})
+	go func() {
+		n.height++
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,87 @@
+// Package snapshotfields seeds the snapshot-fields analyzer: a Forkable
+// struct whose mutable fields must all be seen by Snapshot and Restore.
+// Fields covered by both methods, fields only written during construction
+// (including construction behind an interface-returning constructor), and
+// types without the Forkable shape all stay silent; a field the protocol
+// mutates but checkpointing never touches is the bug the analyzer exists
+// for.
+package snapshotfields
+
+// Forkable mirrors the snapshot.Forkable shape without importing it.
+type Forkable interface {
+	Snapshot() any
+	Restore(any)
+}
+
+type boxState struct {
+	covered   int
+	noSnap    int
+	noRestore int
+}
+
+type box struct {
+	covered   int // copied by Snapshot, written back by Restore: silent
+	noSnap    int // want "never referenced by (box).Snapshot;"
+	noRestore int // want "never referenced by (box).Restore;"
+	ghost     int // want "never referenced by (box).Snapshot or Restore;"
+	immutable int // written only during construction: silent
+	//stabl:nodet snapshot-fields -- volatile cache, rebuilt on demand; a fork may lose it
+	cache map[int]int
+	//stabl:nodet wallclock -- names the wrong analyzer, so snapshot-fields still reports
+	wrongScope int // want "never referenced by (box).Snapshot or Restore;"
+}
+
+// NewBox is a signature-visible constructor: its writes are initialization.
+func NewBox() *box {
+	b := &box{covered: 1}
+	b.immutable = 7
+	b.cache = make(map[int]int)
+	return b
+}
+
+// NewHidden returns the concrete type behind an interface. The analyzer
+// still treats its writes as construction: the composite literal marks it
+// as a creator of box.
+func NewHidden() Forkable {
+	b := &box{}
+	b.covered = 1
+	b.immutable = 2
+	b.cache = make(map[int]int)
+	return b
+}
+
+// advance is the protocol: it mutates state after construction.
+func (b *box) advance() {
+	b.covered++
+	b.noSnap++
+	b.noRestore++
+	b.ghost++
+	b.wrongScope++
+	b.cache[b.covered] = b.noSnap
+}
+
+// Snapshot copies covered and noRestore — noSnap, ghost and wrongScope are
+// the seeded gaps.
+func (b *box) Snapshot() any {
+	return &boxState{covered: b.covered, noRestore: b.noRestore}
+}
+
+// Restore delegates to a helper: references through transitive same-package
+// callees count.
+func (b *box) Restore(st any) {
+	b.restoreFrom(st.(*boxState))
+}
+
+func (b *box) restoreFrom(s *boxState) {
+	b.covered = s.covered
+	b.noSnap = s.noSnap
+}
+
+// scratch has no Restore method, so it is not Forkable-shaped and its
+// mutated, uncopied field is nobody's business.
+type scratch struct{ n int }
+
+// Snapshot alone does not make a type Forkable.
+func (s *scratch) Snapshot() any { return s.n }
+
+func (s *scratch) bump() { s.n++ }

@@ -40,7 +40,8 @@ type Scheduler struct {
 	// mode the global lane for cross-cutting actors (observers, the
 	// connection manager, gauge samplers). qs[1..workers] are partition
 	// queues owned by one worker each during a window.
-	qs        []*queue
+	qs []*queue
+	//stabl:nodet snapshot-fields -- parallel-mode only; cleared by DisableParallel before any fork
 	laneQueue []int32  // lane -> queue index; nil (sequential) routes all lanes to qs[0]
 	laneSeq   []uint64 // per-lane key counters, indexed lane+1 (lane -1 is the root lane)
 
@@ -50,7 +51,8 @@ type Scheduler struct {
 	// regMu guards the stream/ticker registries and the seed-derivation
 	// cache, the only scheduler state that partition events may touch
 	// concurrently (a restarted node re-deriving its RNG streams).
-	regMu    sync.Mutex
+	regMu sync.Mutex
+	//stabl:nodet snapshot-fields -- pure memo: name -> seed is a deterministic derivation, identical across fork and replay
 	rngSeeds map[string]int64 // memoized RNG stream derivations
 
 	// Checkpoint registries (see Snapshot): every RNG stream and ticker

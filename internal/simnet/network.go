@@ -147,8 +147,10 @@ type Network struct {
 	latency LatencyModel
 	// nodes is a dense table keyed by NodeID (nil = unregistered); ids
 	// lists registered ids, kept sorted lazily for StartAll.
-	nodes     []*endpoint
-	ids       []NodeID
+	nodes []*endpoint
+	//stabl:nodet snapshot-fields -- topology is fixed before Start; every fork shares the registration set
+	ids []NodeID
+	//stabl:nodet snapshot-fields -- derived from ids; re-established lazily by StartAll
 	idsSorted bool
 	rules     map[int]partitionRule
 	ruleSeq   int
@@ -161,6 +163,7 @@ type Network struct {
 	// partitions never write the same word; Stats() sums the shards.
 	// Sequential mode holds exactly one shard.
 	statsh []Stats
+	//stabl:nodet snapshot-fields -- identity-preserved attachment set before Start, not simulated state
 	tracer Tracer
 	// extraDelay models netem-style per-interface latency injection:
 	// every message entering or leaving the node is delayed. Dense by
@@ -184,6 +187,7 @@ type Network struct {
 	// lookahead, when positive, overrides the latency model's global lower
 	// bound (see SetLookahead). It must never exceed the true minimum delay
 	// of any pair that can actually exchange a message.
+	//stabl:nodet snapshot-fields -- configuration set before Start; core.Fork disables parallel mode anyway
 	lookahead time.Duration
 	// pools[qi] pools delivery events per queue so a message in steady
 	// state schedules no new closure, and so concurrent partitions never
@@ -192,6 +196,7 @@ type Network struct {
 	// outbox[qi] buffers cross-partition sends made by queue qi inside a
 	// lookahead window; a barrier hook injects them (keys were already
 	// assigned at send time, so injection order is irrelevant).
+	//stabl:nodet snapshot-fields -- parallel-mode only; drained at every barrier and cleared by DisableParallel before any fork
 	outbox [][]outMsg
 	// virt lazily holds degradation streams for virtual sender ids (see
 	// Context.SendAs): a flow node submitting on behalf of the classic
